@@ -1,0 +1,79 @@
+// Baseline comparison: erasure coding (k=4, n=12) vs. 3-way replication
+// (k=1, n=3) — the paper's framing (§1–§2): the default EC policy has "the
+// same storage overhead as triple replication, but can tolerate many more
+// failure scenarios", and EC "requires careful implementation to avoid
+// using more network bandwidth to propagate data than a replica-based
+// system".
+//
+// This bench quantifies that trade on our implementation, for the
+// failure-free case and for a 10-minute FS blackout spanning the puts:
+//   * put-path bytes (both ship ~3× the data),
+//   * repair bytes (replication copies whole objects; EC with sibling
+//     recovery reads k fragments once and fans out the regenerated ones),
+//   * fault tolerance (fragments/replicas lost before data loss).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/flags.h"
+
+int main(int argc, char** argv) {
+  using namespace pahoehoe;
+  Flags flags(argc, argv);
+  const int seeds =
+      static_cast<int>(flags.get_int("seeds", 10, "seeds per configuration"));
+  const int puts = static_cast<int>(flags.get_int("puts", 50, "puts"));
+  const int object_kib =
+      static_cast<int>(flags.get_int("object-kib", 100, "object size (KiB)"));
+  flags.finish();
+
+  Policy ec;  // the paper's default (k=4, n=12)
+  Policy replication;
+  replication.k = 1;
+  replication.n = 3;
+  replication.max_frags_per_fs = 1;
+  replication.max_frags_per_dc = 2;
+  replication.min_frags_for_success = 2;
+
+  struct Scheme {
+    const char* name;
+    Policy policy;
+  };
+  const Scheme schemes[] = {{"EC(4,12)", ec}, {"Replication 3x", replication}};
+
+  std::printf("Baseline: erasure coding vs replication — %d puts of %d KiB, "
+              "%d seeds\n",
+              puts, object_kib, seeds);
+  std::printf("(equal 3x storage overhead; EC tolerates any 8 lost "
+              "fragments, replication any 2 lost replicas)\n\n");
+  std::printf("%-16s %-12s %14s %14s %12s\n", "scheme", "scenario",
+              "bytes (MiB)", "WAN (MiB)", "msgs (10^3)");
+
+  for (const Scheme& scheme : schemes) {
+    for (const bool with_failure : {false, true}) {
+      core::RunConfig config = core::paper_default_config();
+      config.convergence = core::ConvergenceOptions::all_opts();
+      config.workload.num_puts = puts;
+      config.workload.value_size = static_cast<size_t>(object_kib) * 1024;
+      config.workload.policy = scheme.policy;
+      if (with_failure) {
+        config.faults.push_back(core::FaultSpec::fs_blackout(
+            0, 0, 0, 10LL * 60 * kMicrosPerSecond));
+      }
+      const auto agg = core::run_many(config, seeds, 4000);
+      std::printf("%-16s %-12s %14.2f %14.2f %12.2f\n", scheme.name,
+                  with_failure ? "1 FS down" : "failure-free",
+                  agg.msg_bytes.mean() / 1048576.0,
+                  agg.wan_bytes.mean() / 1048576.0,
+                  agg.msg_count.mean() / 1e3);
+    }
+  }
+
+  std::printf(
+      "\nReading: with equal storage overhead, EC's put-path bytes match\n"
+      "replication's (both ship ~3x the object), while repair after the\n"
+      "blackout costs EC roughly k reads amortized over all missing\n"
+      "fragments (the §4.2 sibling recovery) versus whole-object copies\n"
+      "for replication. EC survives 8 simultaneous fragment losses;\n"
+      "replication survives 2.\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Shared output formatting for the figure-reproduction benches.
+//
+// Each bench prints the same series the paper's figure shows: a per-message-
+// type breakdown (the paper's stacked bars) and totals with 95% CIs, one
+// column per experiment configuration.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/harness.h"
+
+namespace pahoehoe::bench {
+
+struct Column {
+  std::string label;
+  core::AggregateResult agg;
+};
+
+enum class Metric { kCount, kBytes };
+
+inline double metric_of(const core::AggregateResult& agg, int type,
+                        Metric metric) {
+  return metric == Metric::kCount
+             ? agg.count_by_type[static_cast<size_t>(type)].mean()
+             : agg.bytes_by_type[static_cast<size_t>(type)].mean();
+}
+
+/// Scale factors matching the paper's axes: message counts in 10^3,
+/// bytes in 2^20 (MiB).
+inline double scale_for(Metric metric) {
+  return metric == Metric::kCount ? 1e3 : 1024.0 * 1024.0;
+}
+
+inline void print_breakdown(const std::vector<Column>& columns,
+                            Metric metric) {
+  const char* unit = metric == Metric::kCount ? "10^3 msgs" : "MiB";
+  std::printf("%-20s", "type");
+  for (const auto& col : columns) std::printf(" %12s", col.label.c_str());
+  std::printf("   [%s]\n", unit);
+
+  for (int t = 0; t < wire::kMessageTypeCount; ++t) {
+    bool any = false;
+    for (const auto& col : columns) {
+      if (metric_of(col.agg, t, metric) > 0) any = true;
+    }
+    if (!any) continue;
+    std::printf("%-20s", wire::to_string(static_cast<wire::MessageType>(t)));
+    for (const auto& col : columns) {
+      std::printf(" %12.2f", metric_of(col.agg, t, metric) / scale_for(metric));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("%-20s", "TOTAL");
+  for (const auto& col : columns) {
+    const auto& total =
+        metric == Metric::kCount ? col.agg.msg_count : col.agg.msg_bytes;
+    std::printf(" %12.2f", total.mean() / scale_for(metric));
+  }
+  std::printf("\n%-20s", "  (95% CI +/-)");
+  for (const auto& col : columns) {
+    const auto& total =
+        metric == Metric::kCount ? col.agg.msg_count : col.agg.msg_bytes;
+    std::printf(" %12.2f", total.ci95_halfwidth() / scale_for(metric));
+  }
+  std::printf("\n");
+}
+
+inline void print_ratios(const std::vector<Column>& columns, Metric metric,
+                         size_t baseline_index) {
+  const auto& base = metric == Metric::kCount
+                         ? columns[baseline_index].agg.msg_count
+                         : columns[baseline_index].agg.msg_bytes;
+  std::printf("Relative to %s:\n", columns[baseline_index].label.c_str());
+  for (const auto& col : columns) {
+    const auto& total =
+        metric == Metric::kCount ? col.agg.msg_count : col.agg.msg_bytes;
+    std::printf("  %-18s %+7.1f%%\n", col.label.c_str(),
+                100.0 * (total.mean() - base.mean()) / base.mean());
+  }
+}
+
+inline void print_wan_row(const std::vector<Column>& columns) {
+  std::printf("%-20s", "WAN bytes (MiB)");
+  for (const auto& col : columns) {
+    std::printf(" %12.2f", col.agg.wan_bytes.mean() / (1024.0 * 1024.0));
+  }
+  std::printf("\n");
+}
+
+}  // namespace pahoehoe::bench

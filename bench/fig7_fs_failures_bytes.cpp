@@ -1,0 +1,43 @@
+// Figure 7 — "FS failures and message bytes": the same sweep as Figure 6
+// reported in bytes sent.
+//
+// Expected shape (paper §5.3): bytes are dominated by fragment transfer;
+// sibling fragment recovery amortizes the mandatory k-fragment read over
+// all missing fragments, so with (k=4, n=12) recovery costs only about one
+// third more network capacity than the no-failure case.
+#include <cstdio>
+
+#include "common/flags.h"
+#include "sweeps.h"
+
+int main(int argc, char** argv) {
+  using namespace pahoehoe;
+  Flags flags(argc, argv);
+  const int seeds =
+      static_cast<int>(flags.get_int("seeds", 20, "seeds per configuration"));
+  const int puts = static_cast<int>(flags.get_int("puts", 100, "puts"));
+  const int object_kib =
+      static_cast<int>(flags.get_int("object-kib", 100, "object size (KiB)"));
+  const int max_failures = static_cast<int>(
+      flags.get_int("max-failures", 4, "maximum simultaneous FS failures"));
+  flags.finish();
+
+  core::RunConfig config = core::paper_default_config();
+  config.workload.num_puts = puts;
+  config.workload.value_size = static_cast<size_t>(object_kib) * 1024;
+
+  std::printf(
+      "Figure 7 — FS failures and message bytes: %d puts of %d KiB, 10 min "
+      "blackouts, %d seeds\n\n",
+      puts, object_kib, seeds);
+  const auto columns = bench::run_fs_failure_sweep(config, seeds, max_failures);
+  bench::print_grouped(columns, bench::Metric::kBytes, 4);
+
+  std::printf("Totals (MiB):\n");
+  for (const auto& col : columns) {
+    std::printf("  %-12s %8.2f  (+/- %.2f)\n", col.label.c_str(),
+                col.agg.msg_bytes.mean() / (1024.0 * 1024.0),
+                col.agg.msg_bytes.ci95_halfwidth() / (1024.0 * 1024.0));
+  }
+  return 0;
+}

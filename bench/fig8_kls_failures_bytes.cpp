@@ -1,0 +1,45 @@
+// Figure 8 — "KLS failures and message bytes": bytes sent with 0, 1, 2C
+// (one KLS per data center: network stays connected), 2P (both KLSs of one
+// data center: WAN-partition-like), and 3 KLSs blacked out for 10 minutes.
+//
+// Expected shape (paper §5.3): KLS failures add little while both data
+// centers stay connected; 2P forces every fragment of data center 1 to be
+// rebuilt, where sibling fragment recovery keeps one FS's k-fragment WAN
+// read from being repeated by all three FSs (see the WAN-bytes row).
+#include <cstdio>
+
+#include "common/flags.h"
+#include "sweeps.h"
+
+int main(int argc, char** argv) {
+  using namespace pahoehoe;
+  Flags flags(argc, argv);
+  const int seeds =
+      static_cast<int>(flags.get_int("seeds", 20, "seeds per configuration"));
+  const int puts = static_cast<int>(flags.get_int("puts", 100, "puts"));
+  const int object_kib =
+      static_cast<int>(flags.get_int("object-kib", 100, "object size (KiB)"));
+  flags.finish();
+
+  core::RunConfig config = core::paper_default_config();
+  config.workload.num_puts = puts;
+  config.workload.value_size = static_cast<size_t>(object_kib) * 1024;
+
+  std::printf(
+      "Figure 8 — KLS failures and message bytes: %d puts of %d KiB, 10 min "
+      "blackouts, %d seeds\n"
+      "(2C = one KLS per data center; 2P = both KLSs of data center 1, "
+      "mimicking a WAN partition)\n\n",
+      puts, object_kib, seeds);
+  const auto columns = bench::run_kls_failure_sweep(config, seeds);
+  bench::print_grouped(columns, bench::Metric::kBytes, 4, /*wan_row=*/true);
+
+  std::printf("Totals (MiB, with WAN share):\n");
+  for (const auto& col : columns) {
+    std::printf("  %-12s %8.2f  (+/- %5.2f)   WAN %8.2f\n", col.label.c_str(),
+                col.agg.msg_bytes.mean() / (1024.0 * 1024.0),
+                col.agg.msg_bytes.ci95_halfwidth() / (1024.0 * 1024.0),
+                col.agg.wan_bytes.mean() / (1024.0 * 1024.0));
+  }
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Micro-benchmarks for the erasure codec (cf. the paper's §2 claim, after
+// Plank et al. FAST'09, that modern erasure-code implementations are fast
+// enough for the put/get path).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "common/sha256.h"
+#include "erasure/reed_solomon.h"
+
+namespace pahoehoe {
+namespace {
+
+Bytes make_value(size_t size) {
+  Rng rng(99);
+  Bytes value(size);
+  for (auto& b : value) b = static_cast<uint8_t>(rng.next_u64());
+  return value;
+}
+
+void BM_Encode(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  const size_t size = static_cast<size_t>(state.range(2));
+  erasure::ReedSolomon rs(k, n);
+  const Bytes value = make_value(size);
+  for (auto _ : state) {
+    auto frags = rs.encode(value);
+    benchmark::DoNotOptimize(frags);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(size));
+}
+BENCHMARK(BM_Encode)
+    ->Args({4, 12, 100 * 1024})   // the paper's default policy and object
+    ->Args({4, 12, 1024 * 1024})
+    ->Args({8, 12, 100 * 1024})
+    ->Args({16, 20, 100 * 1024});
+
+void BM_DecodeFromParity(benchmark::State& state) {
+  const size_t size = static_cast<size_t>(state.range(0));
+  erasure::ReedSolomon rs(4, 12);
+  const Bytes value = make_value(size);
+  const auto frags = rs.encode(value);
+  std::vector<erasure::IndexedFragment> input;
+  for (int i = 8; i < 12; ++i) input.push_back({i, &frags[static_cast<size_t>(i)]});
+  for (auto _ : state) {
+    Bytes out = rs.decode(input, size);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(size));
+}
+BENCHMARK(BM_DecodeFromParity)->Arg(100 * 1024)->Arg(1024 * 1024);
+
+void BM_DecodeSystematic(benchmark::State& state) {
+  // Decoding from the k data fragments is a pure reassembly.
+  const size_t size = static_cast<size_t>(state.range(0));
+  erasure::ReedSolomon rs(4, 12);
+  const Bytes value = make_value(size);
+  const auto frags = rs.encode(value);
+  std::vector<erasure::IndexedFragment> input;
+  for (int i = 0; i < 4; ++i) input.push_back({i, &frags[static_cast<size_t>(i)]});
+  for (auto _ : state) {
+    Bytes out = rs.decode(input, size);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(size));
+}
+BENCHMARK(BM_DecodeSystematic)->Arg(100 * 1024);
+
+void BM_RegenerateAllSiblings(benchmark::State& state) {
+  // The §4.2 sibling-recovery hot path: one k-read regenerates 8 fragments.
+  const size_t size = static_cast<size_t>(state.range(0));
+  erasure::ReedSolomon rs(4, 12);
+  const Bytes value = make_value(size);
+  const auto frags = rs.encode(value);
+  std::vector<erasure::IndexedFragment> input;
+  for (int i = 0; i < 4; ++i) input.push_back({i, &frags[static_cast<size_t>(i)]});
+  const std::vector<int> targets{4, 5, 6, 7, 8, 9, 10, 11};
+  for (auto _ : state) {
+    auto out = rs.regenerate(input, targets, size);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(size));
+}
+BENCHMARK(BM_RegenerateAllSiblings)->Arg(100 * 1024);
+
+void BM_Sha256(benchmark::State& state) {
+  const size_t size = static_cast<size_t>(state.range(0));
+  const Bytes data = make_value(size);
+  for (auto _ : state) {
+    auto digest = Sha256::hash(data);
+    benchmark::DoNotOptimize(digest);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(size));
+}
+BENCHMARK(BM_Sha256)->Arg(25600)->Arg(100 * 1024);
+
+}  // namespace
+}  // namespace pahoehoe
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// End-to-end simulation throughput: how fast the whole stack (proxy + KLS +
+// FS + convergence + codec + wire + simulator) executes the paper's
+// workloads. Useful for judging how long the figure sweeps take and for
+// catching performance regressions in the protocol hot paths.
+#include <benchmark/benchmark.h>
+
+#include "core/harness.h"
+
+namespace pahoehoe {
+namespace {
+
+core::RunConfig config_for(int puts, size_t value_size,
+                           core::ConvergenceOptions conv) {
+  core::RunConfig config = core::paper_default_config();
+  config.workload.num_puts = puts;
+  config.workload.value_size = value_size;
+  config.convergence = conv;
+  return config;
+}
+
+void BM_FailureFreePuts(benchmark::State& state) {
+  const int puts = static_cast<int>(state.range(0));
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    auto config =
+        config_for(puts, 100 * 1024, core::ConvergenceOptions::all_opts());
+    config.seed = seed++;
+    const auto r = core::run_experiment(config);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * puts);
+}
+BENCHMARK(BM_FailureFreePuts)->Arg(10)->Arg(100)->Unit(benchmark::kMillisecond);
+
+void BM_NaiveConvergenceRun(benchmark::State& state) {
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    auto config =
+        config_for(25, 100 * 1024, core::ConvergenceOptions::naive());
+    config.seed = seed++;
+    const auto r = core::run_experiment(config);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 25);
+}
+BENCHMARK(BM_NaiveConvergenceRun)->Unit(benchmark::kMillisecond);
+
+void BM_FsFailureRepairRun(benchmark::State& state) {
+  // The fig-6 inner loop: one FS blacked out 10 minutes, full repair.
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    auto config =
+        config_for(25, 100 * 1024, core::ConvergenceOptions::all_opts());
+    config.seed = seed++;
+    config.faults.push_back(core::FaultSpec::fs_blackout(
+        0, 0, 0, 10LL * 60 * kMicrosPerSecond));
+    const auto r = core::run_experiment(config);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 25);
+}
+BENCHMARK(BM_FsFailureRepairRun)->Unit(benchmark::kMillisecond);
+
+void BM_LossyRetryRun(benchmark::State& state) {
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    auto config =
+        config_for(25, 100 * 1024, core::ConvergenceOptions::all_opts());
+    config.seed = seed++;
+    config.workload.retry_failed = true;
+    config.faults.push_back(core::FaultSpec::uniform_loss(0.10));
+    const auto r = core::run_experiment(config);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 25);
+}
+BENCHMARK(BM_LossyRetryRun)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace pahoehoe
+
+BENCHMARK_MAIN();

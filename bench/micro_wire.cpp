@@ -1,0 +1,94 @@
+// Micro-benchmarks for message serialization and the simulator event loop —
+// the substrate the figure benches stand on.
+#include <benchmark/benchmark.h>
+
+#include "sim/simulator.h"
+#include "wire/messages.h"
+
+namespace pahoehoe {
+namespace {
+
+wire::StoreFragmentReq sample_store(size_t frag_size) {
+  wire::StoreFragmentReq req;
+  req.ov = ObjectVersionId{Key{"obj-42"}, Timestamp{123456, 7}};
+  req.meta = Metadata{Policy{}, frag_size * 4};
+  for (size_t i = 0; i < req.meta.locs.size(); ++i) {
+    req.meta.locs[i] =
+        Location{NodeId{10 + static_cast<uint32_t>(i / 2)},
+                 static_cast<uint8_t>(i % 2)};
+  }
+  req.frag_index = 3;
+  req.fragment = Bytes(frag_size, 0xa5);
+  req.digest = Sha256::hash(req.fragment);
+  return req;
+}
+
+void BM_EncodeStoreFragment(benchmark::State& state) {
+  const auto req = sample_store(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    Bytes payload = req.encode();
+    benchmark::DoNotOptimize(payload);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_EncodeStoreFragment)->Arg(25600)->Arg(256 * 1024);
+
+void BM_DecodeStoreFragment(benchmark::State& state) {
+  const Bytes payload =
+      sample_store(static_cast<size_t>(state.range(0))).encode();
+  for (auto _ : state) {
+    auto req = wire::StoreFragmentReq::decode(payload);
+    benchmark::DoNotOptimize(req);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_DecodeStoreFragment)->Arg(25600);
+
+void BM_EncodeConverge(benchmark::State& state) {
+  wire::FsConvergeReq req;
+  req.ov = ObjectVersionId{Key{"obj-42"}, Timestamp{123456, 7}};
+  req.meta = sample_store(16).meta;
+  for (auto _ : state) {
+    Bytes payload = req.encode();
+    benchmark::DoNotOptimize(payload);
+  }
+}
+BENCHMARK(BM_EncodeConverge);
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulator sim(1);
+    for (int i = 0; i < 10000; ++i) {
+      sim.schedule_at(sim.rng().uniform_int(0, 1'000'000), [] {});
+    }
+    state.ResumeTiming();
+    sim.run();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 10000);
+}
+BENCHMARK(BM_SimulatorEventThroughput);
+
+void BM_SimulatorTimerCancel(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulator sim(1);
+    std::vector<sim::TimerId> ids;
+    ids.reserve(10000);
+    for (int i = 0; i < 10000; ++i) {
+      ids.push_back(sim.schedule_at(i, [] {}));
+    }
+    state.ResumeTiming();
+    for (sim::TimerId id : ids) sim.cancel(id);
+    sim.run();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 10000);
+}
+BENCHMARK(BM_SimulatorTimerCancel);
+
+}  // namespace
+}  // namespace pahoehoe
+
+BENCHMARK_MAIN();

@@ -1,0 +1,121 @@
+// The failure sweeps behind Figures 6–8, shared by the per-figure benches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace pahoehoe::bench {
+
+inline SimTime ten_minutes() { return 10LL * 60 * kMicrosPerSecond; }
+
+struct OptPreset {
+  const char* label;
+  core::ConvergenceOptions conv;
+};
+
+/// The four optimization settings of §5.3's sweeps.
+inline std::vector<OptPreset> sweep_presets() {
+  return {
+      {"PutAMR", core::ConvergenceOptions::put_amr()},
+      {"FSAMR", core::ConvergenceOptions::fs_amr_unsync()},
+      {"Sibling", core::ConvergenceOptions::sibling_only()},
+      {"All", core::ConvergenceOptions::all_opts()},
+  };
+}
+
+/// FSs to black out for a given failure count, "roughly balanced between
+/// data centers" (§5.3): alternate DCs.
+inline std::vector<core::FaultSpec> fs_blackouts(int failures) {
+  std::vector<core::FaultSpec> faults;
+  for (int f = 0; f < failures; ++f) {
+    const int dc = f % 2;
+    const int index = f / 2;
+    faults.push_back(
+        core::FaultSpec::fs_blackout(dc, index, 0, ten_minutes()));
+  }
+  return faults;
+}
+
+/// KLS failure cases of Figure 8: 0, 1, 2C (one per DC — network stays
+/// connected), 2P (both KLSs of DC 1 — WAN-partition-like), 3.
+struct KlsCase {
+  const char* label;
+  std::vector<core::FaultSpec> faults;
+};
+
+inline std::vector<KlsCase> kls_cases() {
+  const SimTime len = ten_minutes();
+  return {
+      {"0", {}},
+      {"1", {core::FaultSpec::kls_blackout(0, 0, 0, len)}},
+      {"2C",
+       {core::FaultSpec::kls_blackout(0, 0, 0, len),
+        core::FaultSpec::kls_blackout(1, 0, 0, len)}},
+      {"2P",
+       {core::FaultSpec::kls_blackout(1, 0, 0, len),
+        core::FaultSpec::kls_blackout(1, 1, 0, len)}},
+      {"3",
+       {core::FaultSpec::kls_blackout(0, 0, 0, len),
+        core::FaultSpec::kls_blackout(1, 0, 0, len),
+        core::FaultSpec::kls_blackout(1, 1, 0, len)}},
+  };
+}
+
+/// Run the Figure 6/7 sweep: failures ∈ [0, max_failures] × presets.
+/// Column labels follow the paper: "<failures>-<opts>". The 0-failure case
+/// is run only with All (the paper's 0-All reference point).
+inline std::vector<Column> run_fs_failure_sweep(core::RunConfig config,
+                                                int seeds, int max_failures) {
+  std::vector<Column> columns;
+  config.faults = {};
+  config.convergence = core::ConvergenceOptions::all_opts();
+  columns.push_back(Column{"0-All", core::run_many(config, seeds, 500)});
+  for (int failures = 1; failures <= max_failures; ++failures) {
+    for (const auto& preset : sweep_presets()) {
+      config.convergence = preset.conv;
+      config.faults = fs_blackouts(failures);
+      columns.push_back(
+          Column{std::to_string(failures) + "-" + preset.label,
+                 core::run_many(config, seeds, 500)});
+    }
+  }
+  return columns;
+}
+
+inline std::vector<Column> run_kls_failure_sweep(core::RunConfig config,
+                                                 int seeds) {
+  std::vector<Column> columns;
+  for (const auto& kls_case : kls_cases()) {
+    if (std::string(kls_case.label) == "0") {
+      config.convergence = core::ConvergenceOptions::all_opts();
+      config.faults = kls_case.faults;
+      columns.push_back(Column{"0-All", core::run_many(config, seeds, 700)});
+      continue;
+    }
+    for (const auto& preset : sweep_presets()) {
+      config.convergence = preset.conv;
+      config.faults = kls_case.faults;
+      columns.push_back(
+          Column{std::string(kls_case.label) + "-" + preset.label,
+                 core::run_many(config, seeds, 700)});
+    }
+  }
+  return columns;
+}
+
+/// Chunk wide sweeps into printable groups of `group` columns.
+inline void print_grouped(const std::vector<Column>& columns, Metric metric,
+                          size_t group, bool wan_row = false) {
+  for (size_t begin = 0; begin < columns.size(); begin += group) {
+    const size_t end = std::min(columns.size(), begin + group);
+    std::vector<Column> slice(columns.begin() + static_cast<long>(begin),
+                              columns.begin() + static_cast<long>(end));
+    print_breakdown(slice, metric);
+    if (wan_row) print_wan_row(slice);
+    std::printf("\n");
+  }
+}
+
+}  // namespace pahoehoe::bench

@@ -1,0 +1,35 @@
+// Lightweight always-on invariant checking.
+//
+// PAHOEHOE_CHECK is used for internal invariants that must hold regardless of
+// build type; violations indicate a programming error, so we terminate with a
+// diagnostic rather than throwing (per CppCoreGuidelines E.12/I.6 a broken
+// precondition is not a recoverable condition).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pahoehoe::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "PAHOEHOE_CHECK failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace pahoehoe::detail
+
+#define PAHOEHOE_CHECK(expr)                                            \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::pahoehoe::detail::check_failed(#expr, __FILE__, __LINE__, "");  \
+    }                                                                   \
+  } while (false)
+
+#define PAHOEHOE_CHECK_MSG(expr, msg)                                    \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::pahoehoe::detail::check_failed(#expr, __FILE__, __LINE__, msg);  \
+    }                                                                    \
+  } while (false)

@@ -1,0 +1,117 @@
+#include "common/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pahoehoe {
+namespace {
+
+bool parse_bool(const std::string& raw, bool* out) {
+  if (raw == "true" || raw == "1" || raw == "yes" || raw.empty()) {
+    *out = true;
+    return true;
+  }
+  if (raw == "false" || raw == "0" || raw == "no") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+[[noreturn]] void die(const std::string& message) {
+  std::fprintf(stderr, "flag error: %s\n", message.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+Flags::Flags(int argc, char** argv) {
+  program_ = argc > 0 ? argv[0] : "program";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      die("positional arguments are not supported: " + arg);
+    }
+    arg = arg.substr(2);
+    if (arg == "help") {
+      help_requested_ = true;
+      continue;
+    }
+    auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      raw_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      raw_[arg] = argv[++i];
+    } else {
+      raw_[arg] = "";  // bare boolean flag
+    }
+  }
+}
+
+int64_t Flags::get_int(const std::string& name, int64_t default_value,
+                       const std::string& help) {
+  seen_[name] = help + " (int, default " + std::to_string(default_value) + ")";
+  auto it = raw_.find(name);
+  if (it == raw_.end()) return default_value;
+  char* end = nullptr;
+  int64_t value = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || it->second.empty()) {
+    die("--" + name + " expects an integer, got '" + it->second + "'");
+  }
+  return value;
+}
+
+double Flags::get_double(const std::string& name, double default_value,
+                         const std::string& help) {
+  seen_[name] =
+      help + " (double, default " + std::to_string(default_value) + ")";
+  auto it = raw_.find(name);
+  if (it == raw_.end()) return default_value;
+  char* end = nullptr;
+  double value = std::strtod(it->second.c_str(), &end);
+  if (end == nullptr || *end != '\0' || it->second.empty()) {
+    die("--" + name + " expects a number, got '" + it->second + "'");
+  }
+  return value;
+}
+
+std::string Flags::get_string(const std::string& name,
+                              const std::string& default_value,
+                              const std::string& help) {
+  seen_[name] = help + " (string, default '" + default_value + "')";
+  auto it = raw_.find(name);
+  return it == raw_.end() ? default_value : it->second;
+}
+
+bool Flags::get_bool(const std::string& name, bool default_value,
+                     const std::string& help) {
+  seen_[name] =
+      help + std::string(" (bool, default ") + (default_value ? "true" : "false") + ")";
+  auto it = raw_.find(name);
+  if (it == raw_.end()) return default_value;
+  bool value = false;
+  if (!parse_bool(it->second, &value)) {
+    die("--" + name + " expects a boolean, got '" + it->second + "'");
+  }
+  return value;
+}
+
+void Flags::finish() {
+  bool unknown = false;
+  for (const auto& [name, value] : raw_) {
+    (void)value;
+    if (seen_.find(name) == seen_.end()) {
+      std::fprintf(stderr, "unknown flag: --%s\n", name.c_str());
+      unknown = true;
+    }
+  }
+  if (unknown || help_requested_) {
+    std::fprintf(stderr, "usage: %s [flags]\n", program_.c_str());
+    for (const auto& [name, help] : seen_) {
+      std::fprintf(stderr, "  --%-24s %s\n", name.c_str(), help.c_str());
+    }
+    std::exit(help_requested_ && !unknown ? 0 : 2);
+  }
+}
+
+}  // namespace pahoehoe

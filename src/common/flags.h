@@ -1,0 +1,42 @@
+// Tiny command-line flag parser for benches and examples.
+//
+// Supports --name=value and --name value for int64/double/string/bool flags
+// (bools also accept bare --name). Unrecognized flags are an error so typos
+// in experiment sweeps fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace pahoehoe {
+
+class Flags {
+ public:
+  /// Parse argv; exits with a usage message on error or --help.
+  Flags(int argc, char** argv);
+
+  /// Declare-and-read accessors; the default doubles as the declaration,
+  /// so every accessor call registers the flag for --help and typo checks.
+  int64_t get_int(const std::string& name, int64_t default_value,
+                  const std::string& help = "");
+  double get_double(const std::string& name, double default_value,
+                    const std::string& help = "");
+  std::string get_string(const std::string& name,
+                         const std::string& default_value,
+                         const std::string& help = "");
+  bool get_bool(const std::string& name, bool default_value,
+                const std::string& help = "");
+
+  /// Call after all get_* declarations: reports unknown flags and exits, or
+  /// prints help and exits if --help was given.
+  void finish();
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> raw_;   // flag name -> raw value
+  std::map<std::string, std::string> seen_;  // declared name -> help text
+  bool help_requested_ = false;
+};
+
+}  // namespace pahoehoe

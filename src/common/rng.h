@@ -1,0 +1,46 @@
+// Deterministic random-number generation.
+//
+// Every source of randomness in a simulation run (latency samples, message
+// loss, convergence round jitter, backoff jitter, workload data) draws from
+// one seeded generator so the same seed reproduces the same event trace.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "common/check.h"
+
+namespace pahoehoe {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t uniform_int(int64_t lo, int64_t hi) {
+    PAHOEHOE_CHECK(lo <= hi);
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform real in [0, 1).
+  double uniform01() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform01() < p;
+  }
+
+  /// Raw 64-bit draw (for deriving sub-seeds and filling test data).
+  uint64_t next_u64() { return engine_(); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace pahoehoe

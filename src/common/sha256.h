@@ -1,0 +1,43 @@
+// Minimal SHA-256 (FIPS 180-4) used for fragment integrity.
+//
+// The paper (§3.1) notes Pahoehoe detects disk corruption using hashes but
+// elides the mechanism; we store a digest beside every fragment and verify
+// it on retrieval and during scrubs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace pahoehoe {
+
+class Sha256 {
+ public:
+  using Digest = std::array<uint8_t, 32>;
+
+  Sha256();
+
+  /// Absorb more input. May be called repeatedly.
+  void update(std::span<const uint8_t> data);
+
+  /// Finalize and return the digest. The object must not be reused after.
+  Digest finish();
+
+  /// One-shot convenience.
+  static Digest hash(std::span<const uint8_t> data);
+
+  /// Lowercase hex rendering of a digest.
+  static std::string hex(const Digest& digest);
+
+ private:
+  void process_block(const uint8_t* block);
+
+  std::array<uint32_t, 8> state_;
+  std::array<uint8_t, 64> buffer_;
+  size_t buffered_ = 0;
+  uint64_t total_bytes_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace pahoehoe

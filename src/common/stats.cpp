@@ -1,0 +1,40 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pahoehoe {
+
+void SampleStats::add(double x) { values_.push_back(x); }
+
+double SampleStats::mean() const {
+  if (values_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values_) sum += v;
+  return sum / static_cast<double>(values_.size());
+}
+
+double SampleStats::stddev() const {
+  if (values_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double v : values_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values_.size() - 1));
+}
+
+double SampleStats::ci95_halfwidth() const {
+  if (values_.size() < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(values_.size()));
+}
+
+double SampleStats::min() const {
+  if (values_.empty()) return 0.0;
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double SampleStats::max() const {
+  if (values_.empty()) return 0.0;
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+}  // namespace pahoehoe

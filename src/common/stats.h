@@ -1,0 +1,32 @@
+// Small statistics helpers used by the experiment harness to aggregate
+// per-seed results (the paper reports means and checks 95% confidence
+// intervals, §5.1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace pahoehoe {
+
+/// Streaming accumulator for mean / stddev / 95% CI of a sample.
+class SampleStats {
+ public:
+  void add(double x);
+
+  size_t count() const { return values_.size(); }
+  double mean() const;
+  /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 points.
+  double stddev() const;
+  /// Half-width of the 95% confidence interval of the mean (normal approx;
+  /// the harness uses ≥20 seeds so this is adequate).
+  double ci95_halfwidth() const;
+  double min() const;
+  double max() const;
+
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace pahoehoe

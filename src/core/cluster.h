@@ -1,0 +1,73 @@
+// Cluster builder: wires proxies, KLSs, and FSs onto a simulator + network,
+// and provides the experiment oracle that classifies object versions by
+// direct inspection of final server state.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/sha256.h"
+#include "core/config.h"
+#include "core/fs.h"
+#include "core/kls.h"
+#include "core/proxy.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace pahoehoe::core {
+
+/// Oracle classification of one object version at the end of a run.
+enum class VersionStatus {
+  kAmr,            ///< at maximum redundancy everywhere
+  kDurableNotAmr,  ///< ≥ k fragments stored, but not (yet) AMR
+  kNonDurable,     ///< fewer than k fragments stored; can never reach AMR
+};
+
+const char* to_string(VersionStatus status);
+
+class Cluster {
+ public:
+  Cluster(sim::Simulator& sim, net::Network& net, ClusterTopology topology,
+          ConvergenceOptions conv_options, ProxyOptions proxy_options);
+
+  const ClusterTopology& topology() const { return topology_; }
+  const std::shared_ptr<const ClusterView>& view() const { return view_; }
+
+  Proxy& proxy(int index);
+  /// Global indices enumerate data center 0's servers first.
+  KeyLookupServer& kls(int global_index);
+  KeyLookupServer& kls(int dc, int index_in_dc);
+  FragmentServer& fs(int global_index);
+  FragmentServer& fs(int dc, int index_in_dc);
+
+  int num_kls() const { return static_cast<int>(klss_.size()); }
+  int num_fs() const { return static_cast<int>(fss_.size()); }
+  int num_proxies() const { return static_cast<int>(proxies_.size()); }
+
+  // --- oracle ----------------------------------------------------------------
+
+  /// Classify a version by direct state inspection (no messages).
+  VersionStatus classify(const ObjectVersionId& ov) const;
+  /// True iff no FS has convergence work outstanding.
+  bool converged_quiescent() const;
+  /// Total convergence work-list entries across all FSs.
+  size_t total_pending_versions() const;
+  /// SHA-256 over the entire persistent state of the cluster (every KLS's
+  /// timestamp+metadata stores, every FS's fragments and their placement),
+  /// in a canonical order. Two runs that converge to the same archive state
+  /// produce the same digest — regardless of which convergence
+  /// optimizations produced it.
+  Sha256::Digest state_digest() const;
+
+ private:
+  sim::Simulator& sim_;
+  net::Network& net_;
+  ClusterTopology topology_;
+  std::shared_ptr<const ClusterView> view_;
+  std::vector<std::unique_ptr<Proxy>> proxies_;
+  std::vector<std::unique_ptr<KeyLookupServer>> klss_;
+  std::vector<std::unique_ptr<FragmentServer>> fss_;
+};
+
+}  // namespace pahoehoe::core

@@ -1,0 +1,42 @@
+// Static membership knowledge shared by every node.
+//
+// The paper assumes "the set of all KLSs is known to every proxy and FS"
+// (§3.2); this struct carries that knowledge plus the data-center map used
+// for placement and for KLS probing order.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace pahoehoe::core {
+
+struct ClusterView {
+  int num_dcs = 0;
+  int disks_per_fs = 1;
+  std::vector<NodeId> all_kls;                        // global, stable order
+  std::vector<std::vector<NodeId>> kls_by_dc;         // [dc] -> KLS ids
+  std::vector<std::vector<NodeId>> fs_by_dc;          // [dc] -> FS ids
+  std::unordered_map<NodeId, DataCenterId> dc_of_node;
+
+  /// Data center of a node; invalid for nodes outside the cluster (test
+  /// probes), which WAN accounting then ignores.
+  DataCenterId dc_of(NodeId id) const {
+    auto it = dc_of_node.find(id);
+    return it == dc_of_node.end() ? DataCenterId{} : it->second;
+  }
+
+  const std::vector<NodeId>& fs_in_dc(DataCenterId dc) const {
+    PAHOEHOE_CHECK(dc.valid() && dc.value < fs_by_dc.size());
+    return fs_by_dc[dc.value];
+  }
+
+  const std::vector<NodeId>& kls_in_dc(DataCenterId dc) const {
+    PAHOEHOE_CHECK(dc.valid() && dc.value < kls_by_dc.size());
+    return kls_by_dc[dc.value];
+  }
+};
+
+}  // namespace pahoehoe::core

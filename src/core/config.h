@@ -1,0 +1,112 @@
+// Configuration knobs for the Pahoehoe protocol stack.
+#pragma once
+
+#include <string>
+
+#include "common/types.h"
+
+namespace pahoehoe::core {
+
+/// Shape of the simulated deployment. The paper's evaluation (§5.1) uses
+/// two data centers with two replicated KLSs and three FSs each, one proxy.
+struct ClusterTopology {
+  int num_dcs = 2;
+  int kls_per_dc = 2;
+  int fs_per_dc = 3;
+  int disks_per_fs = 2;
+  int num_proxies = 1;
+
+  int total_kls() const { return num_dcs * kls_per_dc; }
+  int total_fs() const { return num_dcs * fs_per_dc; }
+  bool valid() const {
+    return num_dcs >= 1 && kls_per_dc >= 1 && fs_per_dc >= 1 &&
+           disks_per_fs >= 1 && num_proxies >= 1;
+  }
+};
+
+/// Convergence behaviour (§3.4 naïve protocol plus the §4 optimizations).
+struct ConvergenceOptions {
+  // --- the four optimization switches the evaluation sweeps -----------------
+  /// §4.1: an FS that verifies AMR sends indications to its siblings.
+  bool fs_amr_indication = false;
+  /// §4.1: rounds start uniformly at random in [round_min, round_max]
+  /// instead of on a synchronized fixed-period schedule.
+  bool unsync_rounds = false;
+  /// §4.1: the proxy sends AMR indications after a fully successful put;
+  /// FSs defer convergence of young versions (min_age) to let puts finish.
+  bool put_amr_indication = false;
+  /// §4.2: one FS recovers all missing sibling fragments and pushes them,
+  /// with lower-id backoff to suppress duplicated recovery work.
+  bool sibling_recovery = false;
+
+  // --- timing ---------------------------------------------------------------
+  SimTime round_min = 30 * kMicrosPerSecond;   ///< unsynchronized round jitter
+  SimTime round_max = 90 * kMicrosPerSecond;
+  SimTime sync_round_period = 60 * kMicrosPerSecond;  ///< synchronized rounds
+  /// Minimum version age before an FS initiates convergence (paper: 300 s);
+  /// applied only when put_amr_indication is on (naïve convergence "may
+  /// start convergence even before the put operation completes", §4.1).
+  SimTime min_age = 300 * kMicrosPerSecond;
+  /// Stop attempting convergence for versions older than this (paper: two
+  /// months, §3.5).
+  SimTime giveup_age = 60LL * 24 * 3600 * kMicrosPerSecond;
+  /// Exponential per-version backoff after a convergence step that did not
+  /// reach AMR: base * factor^(attempts-1), jittered, capped.
+  SimTime backoff_base = 60 * kMicrosPerSecond;
+  double backoff_factor = 2.0;
+  SimTime backoff_max = 7LL * 24 * 3600 * kMicrosPerSecond;
+  /// How long a sibling-recovery initiator accumulates converge replies
+  /// before fetching fragments (§4.2 "waits some time").
+  SimTime recovery_wait = 200 * kMicrosPerMilli;
+  /// Abandon a recovery attempt whose fragment fetches never complete
+  /// (sources down or replies lost); the step retries with backoff.
+  SimTime recovery_timeout = 5 * kMicrosPerSecond;
+  /// Retransmit a recovery attempt's outstanding fragment fetches at this
+  /// interval until the attempt's deadline. Without in-attempt retries, one
+  /// lost fetch fails the whole attempt, and under heavy loss a version
+  /// could exhaust its backoff schedule before ever completing a recovery.
+  SimTime recovery_retry_interval = 1500 * kMicrosPerMilli;
+  /// Periodic disk scrub (§3.1 "detect disk corruption using hashes"):
+  /// every interval the FS re-checks its fragments and re-enters damaged
+  /// versions into convergence. 0 disables (the default — the paper's
+  /// evaluation does not scrub). Note: a nonzero interval keeps the event
+  /// queue alive forever; drive such simulations with a finite horizon
+  /// (Simulator::run(until)) rather than run-to-quiescence.
+  SimTime scrub_interval = 0;
+
+  SimTime effective_min_age() const {
+    return put_amr_indication ? min_age : 0;
+  }
+
+  // --- presets matching the paper's Figure 5 configurations ------------------
+  static ConvergenceOptions naive();
+  /// FS AMR indications, synchronized round starts (FSAMR-S).
+  static ConvergenceOptions fs_amr_sync();
+  /// FS AMR indications, unsynchronized round starts (FSAMR-U).
+  static ConvergenceOptions fs_amr_unsync();
+  /// Put AMR indications only (with unsynchronized rounds), the "PutAMR"
+  /// column of Figures 5–8.
+  static ConvergenceOptions put_amr();
+  /// "Unsynchronized sibling fragment recovery" only (§5.3), the "Sibling"
+  /// column of Figures 6–8.
+  static ConvergenceOptions sibling_only();
+  /// Everything on ("All").
+  static ConvergenceOptions all_opts();
+};
+
+/// Proxy behaviour.
+struct ProxyOptions {
+  SimTime put_timeout = 10 * kMicrosPerSecond;
+  SimTime get_timeout = 10 * kMicrosPerSecond;
+  /// Versions per RetrieveTs page (§3.5 iterative timestamp retrieval);
+  /// 0 fetches every version in one reply.
+  uint16_t get_page_size = 0;
+  /// Mirrors ConvergenceOptions::put_amr_indication; set by the Cluster.
+  bool put_amr_indication = false;
+  /// Additive skew applied to this proxy's loosely synchronized clock.
+  SimTime clock_skew = 0;
+};
+
+std::string describe(const ConvergenceOptions& opts);
+
+}  // namespace pahoehoe::core

@@ -1,0 +1,816 @@
+#include "core/fs.h"
+
+#include <algorithm>
+
+#include "common/sha256.h"
+
+namespace pahoehoe::core {
+
+FragmentServer::FragmentServer(sim::Simulator& sim, net::Network& net,
+                               std::shared_ptr<const ClusterView> view,
+                               NodeId id, DataCenterId dc,
+                               ConvergenceOptions options)
+    : Server(sim, net, std::move(view), id, NodeKind::kFs, dc),
+      options_(options) {
+  schedule_scrub();
+}
+
+FragmentServer::~FragmentServer() = default;
+
+const erasure::ReedSolomon& FragmentServer::codec(const Policy& policy) {
+  auto key = std::make_pair<int, int>(policy.k, policy.n);
+  auto it = codecs_.find(key);
+  if (it == codecs_.end()) {
+    it = codecs_
+             .emplace(key, std::make_unique<erasure::ReedSolomon>(policy.k,
+                                                                  policy.n))
+             .first;
+  }
+  return *it->second;
+}
+
+FragmentServer::Work& FragmentServer::work_for(const ObjectVersionId& ov) {
+  return work_[ov];
+}
+
+SimTime FragmentServer::version_age(const ObjectVersionId& ov) const {
+  return std::max<SimTime>(0, sim_.now() - ov.ts.wall_micros);
+}
+
+void FragmentServer::bump_backoff(Work& work) {
+  // Exponential backoff with jitter (§3.5): the longer a version fails to
+  // converge, the less often we retry.
+  double delay = static_cast<double>(options_.backoff_base);
+  for (int i = 0; i < std::min(work.attempts, 40); ++i) {
+    delay *= options_.backoff_factor;
+    if (delay >= static_cast<double>(options_.backoff_max)) break;
+  }
+  delay = std::min(delay, static_cast<double>(options_.backoff_max));
+  const double jitter = 0.5 + sim_.rng().uniform01();  // [0.5, 1.5)
+  work.attempts += 1;
+  work.next_attempt = sim_.now() + static_cast<SimTime>(delay * jitter);
+}
+
+bool FragmentServer::local_verify(const ObjectVersionId& ov) const {
+  const Metadata* meta = store_meta_.find(ov);
+  if (meta == nullptr) {
+    const storage::FragStore::Entry* entry = store_frag_.find(ov);
+    if (entry == nullptr) return false;
+    meta = &entry->meta;
+  }
+  if (!meta->complete()) return false;
+  for (int slot : meta->fragments_for(id())) {
+    if (store_frag_.fragment_if_intact(ov, slot) == nullptr) return false;
+  }
+  return true;
+}
+
+std::vector<int> FragmentServer::missing_local_fragments(
+    const ObjectVersionId& ov) const {
+  std::vector<int> missing;
+  const Metadata* meta = store_meta_.find(ov);
+  if (meta == nullptr) {
+    const storage::FragStore::Entry* entry = store_frag_.find(ov);
+    if (entry == nullptr) return missing;
+    meta = &entry->meta;
+  }
+  for (int slot : meta->fragments_for(id())) {
+    if (store_frag_.fragment_if_intact(ov, slot) == nullptr) {
+      missing.push_back(slot);
+    }
+  }
+  return missing;
+}
+
+void FragmentServer::merge_meta(const ObjectVersionId& ov,
+                                const Metadata& meta, bool create_work) {
+  const bool in_meta = store_meta_.contains(ov);
+  const bool in_frag = store_frag_.contains(ov);
+
+  if (!in_meta && in_frag) {
+    // Fig 4 line 17 requires ov to be absent from *both* stores before the
+    // work-list entry is (re)created: a version already verified AMR keeps
+    // serving fragments but is never resurrected into convergence.
+    store_frag_.upsert(ov, meta);
+    return;
+  }
+
+  if (!in_meta && !in_frag && !create_work) return;
+
+  const bool changed = store_meta_.merge(ov, meta);
+  store_frag_.upsert(ov, meta);
+  auto [it, inserted] = work_.try_emplace(ov);
+  if (inserted || !in_meta) {
+    it->second.next_attempt = 0;  // new work: eligible at the next round
+  } else if (changed) {
+    // Genuinely new information (fresh locations) accelerates the next
+    // attempt — post-heal catch-up. Unchanged metadata must NOT reset the
+    // exponential backoff, or sibling converge traffic would keep every
+    // FS retrying at full cadence forever.
+    it->second.next_attempt = std::min(it->second.next_attempt, sim_.now());
+  }
+  ensure_round_scheduled();
+}
+
+void FragmentServer::wake_work(const ObjectVersionId& ov) {
+  auto it = work_.find(ov);
+  if (it == work_.end()) return;
+  it->second.next_attempt = std::min(it->second.next_attempt, sim_.now());
+  ensure_round_scheduled();
+}
+
+void FragmentServer::store_fragment_local(const ObjectVersionId& ov,
+                                          const Metadata& meta,
+                                          int frag_index, Bytes data,
+                                          const Sha256::Digest& digest) {
+  uint8_t disk = 0;
+  const Metadata* best = store_meta_.find(ov);
+  if (best == nullptr) best = &meta;
+  if (frag_index < static_cast<int>(best->locs.size()) &&
+      best->locs[static_cast<size_t>(frag_index)].has_value()) {
+    disk = best->locs[static_cast<size_t>(frag_index)]->disk;
+  }
+  store_frag_.put_fragment(ov, meta, frag_index, std::move(data), digest,
+                           disk);
+}
+
+// --- round machinery --------------------------------------------------------
+
+void FragmentServer::ensure_round_scheduled() {
+  if (crashed() || store_meta_.size() == 0) return;
+  SimTime when;
+  if (options_.unsync_rounds) {
+    // §4.1: uniformly random spacing desynchronizes sibling FSs.
+    when = sim_.now() +
+           sim_.rng().uniform_int(options_.round_min, options_.round_max);
+  } else {
+    // Synchronized schedule: every FS rounds at multiples of the period.
+    const SimTime period = options_.sync_round_period;
+    when = (sim_.now() / period + 1) * period;
+  }
+  // If every pending version is waiting on backoff or min-age, skip the
+  // no-op rounds and wake when the earliest version becomes eligible.
+  SimTime earliest = std::numeric_limits<SimTime>::max();
+  for (const ObjectVersionId& ov : store_meta_.all_versions()) {
+    SimTime eligible = ov.ts.wall_micros + options_.effective_min_age();
+    auto it = work_.find(ov);
+    if (it != work_.end()) {
+      if (it->second.recovering) continue;  // will re-arm when it resolves
+      eligible = std::max(eligible, it->second.next_attempt);
+    }
+    earliest = std::min(earliest, eligible);
+  }
+  if (earliest == std::numeric_limits<SimTime>::max()) {
+    // Everything is mid-recovery; those paths re-arm the timer themselves.
+    return;
+  }
+  when = std::max(when, earliest);
+  if (round_timer_ != 0) {
+    // Keep the earlier of the existing and newly computed round times, so
+    // fresh work pulls a far-skipped round back in without letting message
+    // arrivals push a due round out.
+    if (when >= round_timer_when_) return;
+    sim_.cancel(round_timer_);
+  }
+  round_timer_when_ = when;
+  round_timer_ = sim_.schedule_at(when, [this] { start_round(); });
+}
+
+void FragmentServer::start_round() {
+  round_timer_ = 0;
+  ++rounds_run_;
+  // Fig 4: a convergence step for every object version not yet verified AMR.
+  for (const ObjectVersionId& ov : store_meta_.all_versions()) {
+    Work& work = work_for(ov);
+    if (work.recovering) continue;  // a recovery for this version is active
+    if (sim_.now() < work.next_attempt) continue;
+    if (version_age(ov) < options_.effective_min_age()) continue;
+    if (version_age(ov) > options_.giveup_age) {
+      // §3.5: stop convergence work for hopeless versions after a long
+      // horizon (fragments are kept; only the work-list entry goes).
+      store_meta_.erase(ov);
+      work_.erase(ov);
+      ++versions_given_up_;
+      continue;
+    }
+    converge_step(ov, work);
+  }
+  ensure_round_scheduled();
+}
+
+void FragmentServer::converge_step(const ObjectVersionId& ov, Work& work) {
+  const Metadata* meta = store_meta_.find(ov);
+  PAHOEHOE_CHECK(meta != nullptr);
+  bump_backoff(work);
+
+  if (!meta->complete()) {
+    // Fig 4 line 5: incomplete metadata — act like a proxy doing a put, but
+    // probe one KLS per data center in a fixed rotation (§3.5) instead of
+    // broadcasting.
+    for (int d = 0; d < view_->num_dcs; ++d) {
+      const auto& klss = view_->kls_in_dc(DataCenterId{static_cast<uint8_t>(d)});
+      if (klss.empty()) continue;
+      const size_t probe =
+          static_cast<size_t>(work.attempts - 1) % klss.size();
+      send(klss[probe], wire::DecideLocsReq{ov, meta->policy,
+                                            meta->value_size,
+                                            /*from_fs=*/true});
+    }
+    return;
+  }
+
+  if (!missing_local_fragments(ov).empty()) {
+    // Fig 4 line 8: recover missing local fragments.
+    if (options_.sibling_recovery) {
+      begin_sibling_recovery(ov, work);
+    } else {
+      begin_plain_recovery(ov, work);
+    }
+    return;
+  }
+
+  begin_verify(ov, work);
+}
+
+void FragmentServer::begin_verify(const ObjectVersionId& ov, Work& work) {
+  // Fig 4 lines 10–11: ask every KLS and sibling FS to verify. Positive
+  // acks accumulate across rounds — verification is monotone (locations
+  // and fragments are never removed), and requiring a full ack set within
+  // one round would make convergence needlessly fragile under heavy loss.
+  const Metadata& meta = *store_meta_.find(ov);
+  for (NodeId kls : view_->all_kls) {
+    send(kls, wire::KlsConvergeReq{ov, meta});
+  }
+  for (NodeId fs : meta.sibling_fs()) {
+    if (fs == id()) continue;  // an FS does not message itself (§4)
+    send(fs, wire::FsConvergeReq{ov, meta, /*intends_recovery=*/false});
+  }
+  check_amr(ov, work);  // degenerate topologies may need no acks
+}
+
+void FragmentServer::begin_plain_recovery(const ObjectVersionId& ov,
+                                          Work& work) {
+  // recover_fragment (Fig 4 line 8): a get restricted to this object
+  // version — request every other decided slot and decode from the first k.
+  const Metadata& meta = *store_meta_.find(ov);
+  work.recovering = true;
+  work.plain_recovery = true;
+  work.gathered.clear();
+  work.requested_slots.clear();
+  work.failed_slots.clear();
+  work.sibling_needs.clear();
+  arm_recovery_deadline(ov, work);
+  arm_recovery_retry(ov, work);
+  for (size_t slot = 0; slot < meta.locs.size(); ++slot) {
+    if (!meta.locs[slot].has_value()) continue;
+    if (meta.locs[slot]->fs == id()) {
+      if (const storage::StoredFragment* frag =
+              store_frag_.fragment_if_intact(ov, static_cast<int>(slot));
+          frag != nullptr) {
+        work.gathered.emplace(static_cast<int>(slot), frag->data);
+      }
+      continue;
+    }
+    send(meta.locs[slot]->fs,
+         wire::RetrieveFragReq{ov, static_cast<uint16_t>(slot)});
+    work.requested_slots.insert(static_cast<int>(slot));
+  }
+  recovery_maybe_finish(ov, work);  // local fragments may already suffice
+}
+
+void FragmentServer::begin_sibling_recovery(const ObjectVersionId& ov,
+                                            Work& work) {
+  // §4.2: announce recovery intent; siblings reply with the fragments they
+  // need so one FS can regenerate everything from a single k-fragment read.
+  const Metadata& meta = *store_meta_.find(ov);
+  work.recovering = true;
+  work.plain_recovery = false;
+  work.gathered.clear();
+  work.requested_slots.clear();
+  work.failed_slots.clear();
+  work.sibling_needs.clear();
+  arm_recovery_deadline(ov, work);
+  arm_recovery_retry(ov, work);
+  for (size_t slot = 0; slot < meta.locs.size(); ++slot) {
+    if (!meta.locs[slot].has_value() || meta.locs[slot]->fs != id()) continue;
+    if (const storage::StoredFragment* frag =
+            store_frag_.fragment_if_intact(ov, static_cast<int>(slot));
+        frag != nullptr) {
+      work.gathered.emplace(static_cast<int>(slot), frag->data);
+    }
+  }
+  for (NodeId fs : meta.sibling_fs()) {
+    if (fs == id()) continue;
+    send(fs, wire::FsConvergeReq{ov, meta, /*intends_recovery=*/true});
+  }
+  work.recovery_timer = sim_.schedule_after(
+      options_.recovery_wait, [this, ov] {
+        auto it = work_.find(ov);
+        if (it == work_.end() || !it->second.recovering) return;
+        it->second.recovery_timer = 0;
+        recovery_gather(ov, it->second);
+      });
+}
+
+void FragmentServer::recovery_gather(const ObjectVersionId& ov, Work& work) {
+  // Fetch enough fragments to reach k distinct, counting requests already
+  // outstanding (re-entry happens on every ⊥ reply; without the
+  // accounting, requests would multiply). Local-data-center sources are
+  // preferred to save WAN capacity.
+  const Metadata* meta = store_meta_.find(ov);
+  if (meta == nullptr) {  // converged or gave up meanwhile
+    cancel_recovery(ov, work);
+    return;
+  }
+  const int k = meta->policy.k;
+  const int have = static_cast<int>(work.gathered.size());
+  if (have >= k) {
+    recovery_maybe_finish(ov, work);
+    return;
+  }
+  const int outstanding = static_cast<int>(work.requested_slots.size());
+  const int need = k - have - outstanding;
+  if (need <= 0) return;  // enough fetches in flight; wait for replies
+
+  // Fresh candidates: decided slots held by someone else, not yet gathered,
+  // requested, failed, or reported missing by their owner.
+  std::vector<int> candidates;
+  for (size_t slot = 0; slot < meta->locs.size(); ++slot) {
+    const int s = static_cast<int>(slot);
+    if (!meta->locs[slot].has_value()) continue;
+    if (meta->locs[slot]->fs == id()) continue;
+    if (work.gathered.count(s) > 0) continue;
+    if (work.requested_slots.count(s) > 0) continue;
+    if (work.failed_slots.count(s) > 0) continue;
+    bool reported_missing = false;
+    for (const auto& [fs, needs] : work.sibling_needs) {
+      (void)fs;
+      if (std::find(needs.begin(), needs.end(), s) != needs.end()) {
+        reported_missing = true;
+        break;
+      }
+    }
+    if (!reported_missing) candidates.push_back(s);
+  }
+  std::stable_sort(candidates.begin(), candidates.end(), [&](int a, int b) {
+    const bool a_local = view_->dc_of(meta->locs[static_cast<size_t>(a)]->fs) == dc();
+    const bool b_local = view_->dc_of(meta->locs[static_cast<size_t>(b)]->fs) == dc();
+    return a_local > b_local;
+  });
+
+  if (static_cast<int>(candidates.size()) < need) {
+    if (outstanding == 0) {
+      // Nothing in flight and not enough reachable sources; retry a later
+      // round under backoff.
+      cancel_recovery(ov, work);
+    }
+    // Otherwise wait: in-flight replies may still push us over k.
+    return;
+  }
+  for (int i = 0; i < need; ++i) {
+    const int slot = candidates[static_cast<size_t>(i)];
+    send(meta->locs[static_cast<size_t>(slot)]->fs,
+         wire::RetrieveFragReq{ov, static_cast<uint16_t>(slot)});
+    work.requested_slots.insert(slot);
+  }
+}
+
+void FragmentServer::recovery_maybe_finish(const ObjectVersionId& ov,
+                                           Work& work) {
+  const Metadata* meta = store_meta_.find(ov);
+  if (meta == nullptr) {
+    cancel_recovery(ov, work);
+    return;
+  }
+  const int k = meta->policy.k;
+  if (static_cast<int>(work.gathered.size()) < k) return;
+
+  // Regenerate my missing fragments plus (sibling recovery) everything the
+  // siblings reported missing.
+  std::vector<int> targets = missing_local_fragments(ov);
+  if (!work.plain_recovery) {
+    for (const auto& [fs, needs] : work.sibling_needs) {
+      (void)fs;
+      for (int slot : needs) {
+        if (std::find(targets.begin(), targets.end(), slot) ==
+            targets.end()) {
+          targets.push_back(slot);
+        }
+      }
+    }
+  }
+  std::sort(targets.begin(), targets.end());
+
+  std::vector<erasure::IndexedFragment> available;
+  available.reserve(work.gathered.size());
+  for (const auto& [slot, data] : work.gathered) {
+    available.push_back(erasure::IndexedFragment{slot, &data});
+  }
+  // Size the regeneration by the gathered fragments themselves: a server
+  // that learned of this version only through convergence may not know the
+  // value size yet, and fragment repair does not need it.
+  const size_t frag_size = work.gathered.begin()->second.size();
+  const std::vector<Bytes> regenerated =
+      codec(meta->policy).regenerate_sized(available, targets, frag_size);
+
+  const Metadata meta_copy = *meta;  // stores below may invalidate pointers
+  for (size_t i = 0; i < targets.size(); ++i) {
+    const int slot = targets[i];
+    const Sha256::Digest digest = Sha256::hash(regenerated[i]);
+    const auto& loc = meta_copy.locs[static_cast<size_t>(slot)];
+    PAHOEHOE_CHECK(loc.has_value());
+    if (loc->fs == id()) {
+      store_fragment_local(ov, meta_copy, slot, regenerated[i], digest);
+    } else {
+      // §4.2: push the recovered fragment to its sibling.
+      wire::SiblingStoreReq req;
+      req.ov = ov;
+      req.meta = meta_copy;
+      req.frag_index = static_cast<uint16_t>(slot);
+      req.fragment = regenerated[i];
+      req.digest = digest;
+      send(loc->fs, req);
+    }
+  }
+  ++recoveries_completed_;
+  clear_recovery_state(work);
+  work.next_attempt = sim_.now();  // verify at the next round
+  ensure_round_scheduled();
+}
+
+void FragmentServer::arm_recovery_retry(const ObjectVersionId& ov,
+                                        Work& work) {
+  // Periodically retransmit whatever fetches are still outstanding and top
+  // up from fresh candidates; one lost message must not sink the attempt.
+  work.recovery_retry = sim_.schedule_after(
+      options_.recovery_retry_interval, [this, ov] {
+        auto it = work_.find(ov);
+        if (it == work_.end() || !it->second.recovering) return;
+        Work& w = it->second;
+        w.recovery_retry = 0;
+        const Metadata* meta = store_meta_.find(ov);
+        if (meta != nullptr) {
+          for (int slot : w.requested_slots) {
+            const auto& loc = meta->locs[static_cast<size_t>(slot)];
+            if (!loc.has_value()) continue;
+            send(loc->fs,
+                 wire::RetrieveFragReq{ov, static_cast<uint16_t>(slot)});
+          }
+        }
+        if (!w.plain_recovery) recovery_gather(ov, w);
+        if (w.recovering && w.recovery_retry == 0) arm_recovery_retry(ov, w);
+      });
+}
+
+void FragmentServer::arm_recovery_deadline(const ObjectVersionId& ov,
+                                           Work& work) {
+  work.recovery_deadline = sim_.schedule_after(
+      options_.recovery_wait + options_.recovery_timeout, [this, ov] {
+        auto it = work_.find(ov);
+        if (it == work_.end() || !it->second.recovering) return;
+        it->second.recovery_deadline = 0;
+        // Sources are unreachable or replies were lost; retry with backoff.
+        cancel_recovery(ov, it->second);
+      });
+}
+
+void FragmentServer::clear_recovery_state(Work& work) {
+  work.recovering = false;
+  work.plain_recovery = false;
+  work.gathered.clear();
+  work.requested_slots.clear();
+  work.failed_slots.clear();
+  work.sibling_needs.clear();
+  if (work.recovery_timer != 0) {
+    sim_.cancel(work.recovery_timer);
+    work.recovery_timer = 0;
+  }
+  if (work.recovery_deadline != 0) {
+    sim_.cancel(work.recovery_deadline);
+    work.recovery_deadline = 0;
+  }
+  if (work.recovery_retry != 0) {
+    sim_.cancel(work.recovery_retry);
+    work.recovery_retry = 0;
+  }
+}
+
+void FragmentServer::cancel_recovery(const ObjectVersionId& ov, Work& work) {
+  (void)ov;
+  if (!work.recovering) return;
+  clear_recovery_state(work);
+  ++recovery_backoffs_;
+  ensure_round_scheduled();
+}
+
+void FragmentServer::check_amr(const ObjectVersionId& ov, Work& work) {
+  // is_amr (Fig 4 line 25): this FS verifies locally and every KLS and
+  // sibling FS replied "verified".
+  if (!local_verify(ov)) return;
+  const Metadata* meta = store_meta_.find(ov);
+  if (meta == nullptr || !meta->complete()) return;
+  for (NodeId kls : view_->all_kls) {
+    if (work.verify_acks.count(kls) == 0) return;
+  }
+  for (NodeId fs : meta->sibling_fs()) {
+    if (fs == id()) continue;
+    if (work.verify_acks.count(fs) == 0) return;
+  }
+  mark_amr(ov);
+}
+
+void FragmentServer::mark_amr(const ObjectVersionId& ov) {
+  const Metadata meta = *store_meta_.find(ov);
+  auto wit = work_.find(ov);
+  if (wit != work_.end()) clear_recovery_state(wit->second);
+  work_.erase(ov);
+  store_meta_.erase(ov);
+  ++versions_converged_;
+  if (options_.fs_amr_indication) {
+    // §4.1: tell the siblings so they skip their own convergence steps.
+    for (NodeId fs : meta.sibling_fs()) {
+      if (fs == id()) continue;
+      send(fs, wire::AmrIndication{ov});
+    }
+  }
+}
+
+// --- message handlers --------------------------------------------------------
+
+void FragmentServer::on_store_fragment(NodeId from,
+                                       const wire::StoreFragmentReq& req) {
+  if (Sha256::hash(req.fragment) != req.digest) {
+    send(from, wire::StoreFragmentRep{req.ov, req.frag_index,
+                                      wire::Status::kFailure});
+    return;
+  }
+  merge_meta(req.ov, req.meta, /*create_work=*/true);
+  store_fragment_local(req.ov, req.meta, req.frag_index, req.fragment,
+                       req.digest);
+  wake_work(req.ov);  // a fragment arriving is progress worth acting on
+  send(from,
+       wire::StoreFragmentRep{req.ov, req.frag_index, wire::Status::kSuccess});
+}
+
+void FragmentServer::on_sibling_store(NodeId from,
+                                      const wire::SiblingStoreReq& req) {
+  if (Sha256::hash(req.fragment) != req.digest) {
+    send(from, wire::SiblingStoreRep{req.ov, req.frag_index,
+                                     wire::Status::kFailure});
+    return;
+  }
+  merge_meta(req.ov, req.meta, /*create_work=*/true);
+  store_fragment_local(req.ov, req.meta, req.frag_index, req.fragment,
+                       req.digest);
+  wake_work(req.ov);
+  send(from,
+       wire::SiblingStoreRep{req.ov, req.frag_index, wire::Status::kSuccess});
+}
+
+void FragmentServer::on_retrieve_frag(NodeId from,
+                                      const wire::RetrieveFragReq& req) {
+  // Fig 3 (fs): reply with the fragment or ⊥. Corrupt fragments read as ⊥
+  // (hash verification on the read path).
+  wire::RetrieveFragRep rep;
+  rep.ov = req.ov;
+  rep.frag_index = req.frag_index;
+  if (const storage::StoredFragment* frag =
+          store_frag_.fragment_if_intact(req.ov, req.frag_index);
+      frag != nullptr) {
+    rep.found = true;
+    rep.fragment = frag->data;
+  }
+  send(from, rep);
+}
+
+void FragmentServer::on_fs_converge(NodeId from,
+                                    const wire::FsConvergeReq& req) {
+  // Fig 4 lines 16–22.
+  merge_meta(req.ov, req.meta, /*create_work=*/true);
+
+  // §4.2 lower-id backoff: if we are also attempting sibling recovery and
+  // the requester has the higher unique server id, we stand down.
+  auto wit = work_.find(req.ov);
+  if (req.intends_recovery && wit != work_.end() &&
+      wit->second.recovering && from.value > id().value) {
+    cancel_recovery(req.ov, wit->second);
+    bump_backoff(wit->second);
+  }
+
+  wire::FsConvergeRep rep;
+  rep.ov = req.ov;
+  rep.verified = local_verify(req.ov);
+  if (req.intends_recovery) {
+    for (int slot : missing_local_fragments(req.ov)) {
+      rep.needed_fragments.push_back(static_cast<uint16_t>(slot));
+    }
+  }
+  wit = work_.find(req.ov);
+  rep.also_recovering = wit != work_.end() && wit->second.recovering;
+  send(from, rep);
+}
+
+void FragmentServer::on_fs_converge_rep(NodeId from,
+                                        const wire::FsConvergeRep& rep) {
+  auto it = work_.find(rep.ov);
+  if (it == work_.end()) return;
+  Work& work = it->second;
+
+  if (work.recovering && !work.plain_recovery) {
+    if (!rep.needed_fragments.empty()) {
+      std::vector<int> needs(rep.needed_fragments.begin(),
+                             rep.needed_fragments.end());
+      work.sibling_needs[from] = std::move(needs);
+    }
+    // Reply-path backoff mirror of the §4.2 rule.
+    if (rep.also_recovering && from.value > id().value) {
+      cancel_recovery(rep.ov, work);
+      bump_backoff(work);
+      return;
+    }
+  }
+  if (rep.verified) {
+    work.verify_acks.insert(from);
+    check_amr(rep.ov, work);
+  }
+}
+
+void FragmentServer::on_kls_converge_rep(NodeId from,
+                                         const wire::KlsConvergeRep& rep) {
+  auto it = work_.find(rep.ov);
+  if (it == work_.end()) return;
+  if (rep.verified) {
+    it->second.verify_acks.insert(from);
+    check_amr(rep.ov, it->second);
+  }
+}
+
+void FragmentServer::on_amr_indication(const wire::AmrIndication& msg) {
+  // §4.1: the version is AMR; drop it from the work-list (fragments stay).
+  auto wit = work_.find(msg.ov);
+  if (wit != work_.end()) {
+    clear_recovery_state(wit->second);
+    work_.erase(wit);
+  }
+  store_meta_.erase(msg.ov);
+}
+
+void FragmentServer::on_decide_locs_rep(const wire::DecideLocsRep& rep) {
+  // Fig 4 lines 12–15: merge useful locations from our own probe.
+  if (!store_meta_.contains(rep.ov)) return;
+  merge_meta(rep.ov, rep.meta, /*create_work=*/false);
+}
+
+void FragmentServer::on_kls_locs_notify(const wire::KlsLocsNotify& msg) {
+  // §3.5: a KLS decided locations on behalf of a sibling FS; treat like a
+  // converge announcement (we may be hosting fragments we do not have yet).
+  merge_meta(msg.ov, msg.meta, /*create_work=*/true);
+}
+
+void FragmentServer::on_retrieve_frag_rep(NodeId /*from*/,
+                                          const wire::RetrieveFragRep& rep) {
+  auto it = work_.find(rep.ov);
+  if (it == work_.end() || !it->second.recovering) return;
+  Work& work = it->second;
+  if (work.requested_slots.count(rep.frag_index) == 0) return;
+  work.requested_slots.erase(rep.frag_index);
+  if (rep.found) {
+    work.gathered.emplace(static_cast<int>(rep.frag_index), rep.fragment);
+    recovery_maybe_finish(rep.ov, work);
+  } else {
+    work.failed_slots.insert(rep.frag_index);
+    if (!work.plain_recovery) {
+      // A source we counted on lacks its fragment; try further candidates.
+      recovery_gather(rep.ov, work);
+    }
+  }
+  // Plain recovery requested every decided slot already; if too many ⊥
+  // replies come back the attempt starves and the next round retries it.
+  // Detect exhaustion: no outstanding requests and still short of k.
+  auto wit = work_.find(rep.ov);
+  if (wit != work_.end() && wit->second.recovering &&
+      wit->second.requested_slots.empty()) {
+    const Metadata* meta = store_meta_.find(rep.ov);
+    if (meta == nullptr ||
+        static_cast<int>(wit->second.gathered.size()) < meta->policy.k) {
+      cancel_recovery(rep.ov, wit->second);
+    }
+  }
+}
+
+// --- fault injection & lifecycle ---------------------------------------------
+
+size_t FragmentServer::destroy_disk(uint8_t disk) {
+  return store_frag_.destroy_disk(disk);
+}
+
+bool FragmentServer::corrupt_fragment(const ObjectVersionId& ov,
+                                      int frag_index) {
+  return store_frag_.corrupt_fragment(ov, frag_index);
+}
+
+void FragmentServer::schedule_scrub() {
+  if (options_.scrub_interval <= 0 || crashed()) return;
+  // Jittered so sibling scrubs do not synchronize.
+  const SimTime jitter =
+      sim_.rng().uniform_int(0, options_.scrub_interval / 10 + 1);
+  scrub_timer_ =
+      sim_.schedule_after(options_.scrub_interval + jitter, [this] {
+        scrub_timer_ = 0;
+        scrub();
+        ++scrubs_run_;
+        schedule_scrub();
+      });
+}
+
+size_t FragmentServer::scrub() {
+  size_t readded = 0;
+  for (const ObjectVersionId& ov : store_frag_.all_versions()) {
+    if (store_meta_.contains(ov)) continue;
+    const storage::FragStore::Entry* entry = store_frag_.find(ov);
+    bool damaged = false;
+    for (int slot : entry->meta.fragments_for(id())) {
+      if (store_frag_.fragment_if_intact(ov, slot) == nullptr) {
+        damaged = true;
+        break;
+      }
+    }
+    if (!damaged) continue;
+    store_meta_.merge(ov, entry->meta);
+    work_.try_emplace(ov);
+    ++readded;
+  }
+  if (readded > 0) ensure_round_scheduled();
+  return readded;
+}
+
+void FragmentServer::on_crash() {
+  // Volatile state is lost; persistent stores survive (§3.1).
+  if (round_timer_ != 0) {
+    sim_.cancel(round_timer_);
+    round_timer_ = 0;
+  }
+  if (scrub_timer_ != 0) {
+    sim_.cancel(scrub_timer_);
+    scrub_timer_ = 0;
+  }
+  for (auto& [ov, work] : work_) {
+    (void)ov;
+    clear_recovery_state(work);
+  }
+  work_.clear();
+}
+
+void FragmentServer::on_recover() {
+  // Rebuild the volatile work map from the persistent work-list.
+  for (const ObjectVersionId& ov : store_meta_.all_versions()) {
+    work_.try_emplace(ov);
+  }
+  ensure_round_scheduled();
+  schedule_scrub();
+}
+
+void FragmentServer::dispatch(const wire::Envelope& env) {
+  using wire::MessageType;
+  switch (env.type) {
+    case MessageType::kStoreFragmentReq:
+      on_store_fragment(env.from, wire::StoreFragmentReq::decode(env.payload));
+      break;
+    case MessageType::kSiblingStoreReq:
+      on_sibling_store(env.from, wire::SiblingStoreReq::decode(env.payload));
+      break;
+    case MessageType::kRetrieveFragReq:
+      on_retrieve_frag(env.from, wire::RetrieveFragReq::decode(env.payload));
+      break;
+    case MessageType::kFsConvergeReq:
+      on_fs_converge(env.from, wire::FsConvergeReq::decode(env.payload));
+      break;
+    case MessageType::kFsConvergeRep:
+      on_fs_converge_rep(env.from, wire::FsConvergeRep::decode(env.payload));
+      break;
+    case MessageType::kKlsConvergeRep:
+      on_kls_converge_rep(env.from, wire::KlsConvergeRep::decode(env.payload));
+      break;
+    case MessageType::kAmrIndication:
+      on_amr_indication(wire::AmrIndication::decode(env.payload));
+      break;
+    case MessageType::kDecideLocsRep:
+      on_decide_locs_rep(wire::DecideLocsRep::decode(env.payload));
+      break;
+    case MessageType::kKlsLocsNotify:
+      on_kls_locs_notify(wire::KlsLocsNotify::decode(env.payload));
+      break;
+    case MessageType::kRetrieveFragRep:
+      on_retrieve_frag_rep(env.from,
+                           wire::RetrieveFragRep::decode(env.payload));
+      break;
+    case MessageType::kSiblingStoreRep:
+      break;  // recovered-fragment push acks carry no actionable state
+    case MessageType::kStoreFragmentRep:
+      break;  // possible if a proxy role ever shares an id; ignore
+    default:
+      PAHOEHOE_CHECK_MSG(false, "unexpected message type at FS");
+  }
+}
+
+}  // namespace pahoehoe::core

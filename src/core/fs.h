@@ -1,0 +1,156 @@
+// Fragment Server (paper §2, §3.4, §4).
+//
+// Persists the convergence work-list (storemeta) and the fragment store
+// (storefrag). Runs convergence in periodic rounds; for each non-AMR object
+// version a convergence step either (a) completes metadata via a KLS
+// decide_locs probe, (b) recovers missing local fragments — plain recovery
+// or §4.2 sibling fragment recovery — or (c) verifies AMR against every KLS
+// and sibling FS. Once a version is verified AMR it is removed from the
+// work-list (the fragment store keeps serving it forever; AMR is stable).
+//
+// Optimizations (ConvergenceOptions):
+//  * FS AMR Indications — tell siblings when AMR is verified.
+//  * Unsynchronized rounds — uniform-random round spacing in [30 s, 90 s].
+//  * Put AMR Indications — honor proxy indications; defer convergence of
+//    versions younger than min_age so puts can finish.
+//  * Sibling fragment recovery — recover every sibling's missing fragments
+//    from one k-fragment read and push them; duplicate recovery suppressed
+//    by the lower-id backoff rule.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/config.h"
+#include "core/server.h"
+#include "erasure/reed_solomon.h"
+#include "storage/stores.h"
+#include "wire/messages.h"
+
+namespace pahoehoe::core {
+
+class FragmentServer : public Server {
+ public:
+  FragmentServer(sim::Simulator& sim, net::Network& net,
+                 std::shared_ptr<const ClusterView> view, NodeId id,
+                 DataCenterId dc, ConvergenceOptions options);
+  ~FragmentServer() override;
+
+  // Persistent stores, read-only, for the experiment oracle & tests.
+  const storage::MetaStore& meta_store() const { return store_meta_; }
+  const storage::FragStore& frag_store() const { return store_frag_; }
+
+  /// Fault injection for tests: destroy a disk / corrupt a fragment. The
+  /// damaged fragments read as ⊥ until convergence repairs them.
+  size_t destroy_disk(uint8_t disk);
+  bool corrupt_fragment(const ObjectVersionId& ov, int frag_index);
+  /// Re-add every version with damaged or missing local fragments to the
+  /// convergence work-list (models the elided disk-rebuild scrub). Also
+  /// runs periodically when ConvergenceOptions::scrub_interval is set.
+  size_t scrub();
+
+  // Counters for tests and experiments.
+  uint64_t versions_converged() const { return versions_converged_; }
+  uint64_t versions_given_up() const { return versions_given_up_; }
+  uint64_t recoveries_completed() const { return recoveries_completed_; }
+  uint64_t recovery_backoffs() const { return recovery_backoffs_; }
+  uint64_t rounds_run() const { return rounds_run_; }
+  uint64_t scrubs_run() const { return scrubs_run_; }
+  /// Convergence work outstanding (work-list size).
+  size_t pending_versions() const { return store_meta_.size(); }
+
+ protected:
+  void dispatch(const wire::Envelope& env) override;
+  void on_crash() override;
+  void on_recover() override;
+
+ private:
+  /// Volatile per-version convergence state.
+  struct Work {
+    SimTime next_attempt = 0;
+    int attempts = 0;
+    // Verify-step state.
+    std::set<NodeId> verify_acks;
+    // Recovery-step state (both plain and sibling recovery).
+    bool recovering = false;
+    bool plain_recovery = false;
+    std::map<NodeId, std::vector<int>> sibling_needs;
+    std::map<int, Bytes> gathered;   // fragment index -> data
+    std::set<int> requested_slots;   // retrieve_frag requests outstanding
+    std::set<int> failed_slots;      // sources that answered ⊥ this attempt
+    sim::TimerId recovery_timer = 0;   // §4.2 reply-accumulation window
+    sim::TimerId recovery_deadline = 0;  // abandon a stalled recovery
+    sim::TimerId recovery_retry = 0;   // retransmit outstanding fetches
+  };
+
+  // Message handlers.
+  void on_store_fragment(NodeId from, const wire::StoreFragmentReq& req);
+  void on_sibling_store(NodeId from, const wire::SiblingStoreReq& req);
+  void on_retrieve_frag(NodeId from, const wire::RetrieveFragReq& req);
+  void on_fs_converge(NodeId from, const wire::FsConvergeReq& req);
+  void on_fs_converge_rep(NodeId from, const wire::FsConvergeRep& rep);
+  void on_kls_converge_rep(NodeId from, const wire::KlsConvergeRep& rep);
+  void on_amr_indication(const wire::AmrIndication& msg);
+  void on_decide_locs_rep(const wire::DecideLocsRep& rep);
+  void on_kls_locs_notify(const wire::KlsLocsNotify& msg);
+  void on_retrieve_frag_rep(NodeId from, const wire::RetrieveFragRep& rep);
+
+  // Convergence machinery.
+  void ensure_round_scheduled();
+  void start_round();
+  void converge_step(const ObjectVersionId& ov, Work& work);
+  void begin_verify(const ObjectVersionId& ov, Work& work);
+  void begin_plain_recovery(const ObjectVersionId& ov, Work& work);
+  void begin_sibling_recovery(const ObjectVersionId& ov, Work& work);
+  void recovery_gather(const ObjectVersionId& ov, Work& work);
+  void recovery_maybe_finish(const ObjectVersionId& ov, Work& work);
+  void arm_recovery_deadline(const ObjectVersionId& ov, Work& work);
+  void arm_recovery_retry(const ObjectVersionId& ov, Work& work);
+  void clear_recovery_state(Work& work);
+  void cancel_recovery(const ObjectVersionId& ov, Work& work);
+  void check_amr(const ObjectVersionId& ov, Work& work);
+  void mark_amr(const ObjectVersionId& ov);
+
+  /// Merge metadata into both persistent stores; wakes the work entry if the
+  /// metadata changed. Creates the work entry if the version is new.
+  void merge_meta(const ObjectVersionId& ov, const Metadata& meta,
+                  bool create_work);
+  /// Make the version eligible at the next round (progress was observed).
+  void wake_work(const ObjectVersionId& ov);
+  /// verify() from Fig 4: metadata complete and all locally assigned
+  /// fragments present and intact.
+  bool local_verify(const ObjectVersionId& ov) const;
+  /// Locally assigned fragment indices that are missing or corrupt.
+  std::vector<int> missing_local_fragments(const ObjectVersionId& ov) const;
+  void store_fragment_local(const ObjectVersionId& ov, const Metadata& meta,
+                            int frag_index, Bytes data,
+                            const Sha256::Digest& digest);
+  void bump_backoff(Work& work);
+  SimTime version_age(const ObjectVersionId& ov) const;
+  const erasure::ReedSolomon& codec(const Policy& policy);
+  Work& work_for(const ObjectVersionId& ov);
+
+  ConvergenceOptions options_;
+  storage::MetaStore store_meta_;   // persistent: convergence work-list
+  storage::FragStore store_frag_;   // persistent: fragments + metadata
+
+  void schedule_scrub();
+
+  std::map<ObjectVersionId, Work> work_;  // volatile
+  sim::TimerId round_timer_ = 0;
+  SimTime round_timer_when_ = 0;
+  sim::TimerId scrub_timer_ = 0;
+  uint64_t scrubs_run_ = 0;
+  std::map<std::pair<int, int>, std::unique_ptr<erasure::ReedSolomon>>
+      codecs_;
+
+  uint64_t versions_converged_ = 0;
+  uint64_t versions_given_up_ = 0;
+  uint64_t recoveries_completed_ = 0;
+  uint64_t recovery_backoffs_ = 0;
+  uint64_t rounds_run_ = 0;
+};
+
+}  // namespace pahoehoe::core

@@ -1,0 +1,196 @@
+#include "core/harness.h"
+
+#include <set>
+#include <unordered_set>
+
+namespace pahoehoe::core {
+
+FaultSpec FaultSpec::fs_blackout(int dc, int index, SimTime start,
+                                 SimTime end) {
+  FaultSpec spec;
+  spec.kind = Kind::kFsBlackout;
+  spec.dc = dc;
+  spec.index_in_dc = index;
+  spec.start = start;
+  spec.end = end;
+  return spec;
+}
+
+FaultSpec FaultSpec::kls_blackout(int dc, int index, SimTime start,
+                                  SimTime end) {
+  FaultSpec spec;
+  spec.kind = Kind::kKlsBlackout;
+  spec.dc = dc;
+  spec.index_in_dc = index;
+  spec.start = start;
+  spec.end = end;
+  return spec;
+}
+
+FaultSpec FaultSpec::dc_partition(int dc, SimTime start, SimTime end) {
+  FaultSpec spec;
+  spec.kind = Kind::kDcPartition;
+  spec.dc = dc;
+  spec.start = start;
+  spec.end = end;
+  return spec;
+}
+
+FaultSpec FaultSpec::uniform_loss(double rate) {
+  FaultSpec spec;
+  spec.kind = Kind::kUniformLoss;
+  spec.rate = rate;
+  return spec;
+}
+
+FaultSpec FaultSpec::fs_crash(int dc, int index, SimTime start, SimTime end) {
+  FaultSpec spec = fs_blackout(dc, index, start, end);
+  spec.kind = Kind::kFsCrash;
+  return spec;
+}
+
+FaultSpec FaultSpec::kls_crash(int dc, int index, SimTime start,
+                               SimTime end) {
+  FaultSpec spec = kls_blackout(dc, index, start, end);
+  spec.kind = Kind::kKlsCrash;
+  return spec;
+}
+
+namespace {
+
+void install_crash(Server& server, sim::Simulator& sim, SimTime start,
+                   SimTime end) {
+  sim.schedule_at(start, [&server] { server.crash(); });
+  sim.schedule_at(end, [&server] { server.recover(); });
+}
+
+void install_fault(const FaultSpec& spec, Cluster& cluster,
+                   net::Network& net, sim::Simulator& sim) {
+  switch (spec.kind) {
+    case FaultSpec::Kind::kFsBlackout: {
+      const NodeId id =
+          cluster.view()->fs_by_dc[static_cast<size_t>(spec.dc)]
+                                  [static_cast<size_t>(spec.index_in_dc)];
+      net.add_fault(
+          std::make_shared<net::NodeBlackout>(id, spec.start, spec.end));
+      break;
+    }
+    case FaultSpec::Kind::kKlsBlackout: {
+      const NodeId id =
+          cluster.view()->kls_by_dc[static_cast<size_t>(spec.dc)]
+                                   [static_cast<size_t>(spec.index_in_dc)];
+      net.add_fault(
+          std::make_shared<net::NodeBlackout>(id, spec.start, spec.end));
+      break;
+    }
+    case FaultSpec::Kind::kDcPartition: {
+      std::unordered_set<NodeId> group;
+      for (const auto& [node, dc] : cluster.view()->dc_of_node) {
+        if (dc.value == spec.dc) group.insert(node);
+      }
+      net.add_fault(std::make_shared<net::Partition>(std::move(group),
+                                                     spec.start, spec.end));
+      break;
+    }
+    case FaultSpec::Kind::kUniformLoss:
+      net.add_fault(std::make_shared<net::UniformLoss>(spec.rate));
+      break;
+    case FaultSpec::Kind::kFsCrash:
+      install_crash(
+          cluster.fs(spec.dc * cluster.topology().fs_per_dc + spec.index_in_dc),
+          sim, spec.start, spec.end);
+      break;
+    case FaultSpec::Kind::kKlsCrash:
+      install_crash(cluster.kls(spec.dc, spec.index_in_dc), sim, spec.start,
+                    spec.end);
+      break;
+  }
+}
+
+}  // namespace
+
+RunResult run_experiment(const RunConfig& config) {
+  sim::Simulator sim(config.seed);
+  net::Network net(sim, config.network);
+  Cluster cluster(sim, net, config.topology, config.convergence,
+                  config.proxy);
+  for (const FaultSpec& fault : config.faults) {
+    install_fault(fault, cluster, net, sim);
+  }
+
+  WorkloadDriver driver(sim, cluster.proxy(0), config.workload,
+                        /*value_seed=*/config.seed * 7919 + 17);
+  driver.start();
+  sim.run(config.max_sim_time);
+
+  RunResult result;
+  result.stats = net.stats();
+  result.puts_attempted = driver.attempts();
+  result.puts_acked = driver.successes();
+  result.puts_failed = driver.failures();
+  result.end_time = sim.last_event_time();
+  result.events = sim.executed();
+  result.quiescent = cluster.converged_quiescent();
+
+  std::set<ObjectVersionId> seen;
+  for (const PutRecord& record : driver.records()) {
+    if (!seen.insert(record.ov).second) continue;
+    ++result.versions_total;
+    switch (cluster.classify(record.ov)) {
+      case VersionStatus::kAmr:
+        ++result.amr;
+        if (!record.acked) ++result.excess_amr;
+        break;
+      case VersionStatus::kDurableNotAmr:
+        ++result.durable_not_amr;
+        break;
+      case VersionStatus::kNonDurable:
+        ++result.non_durable;
+        break;
+    }
+  }
+  for (int i = 0; i < cluster.num_fs(); ++i) {
+    result.given_up += static_cast<int>(cluster.fs(i).versions_given_up());
+  }
+  return result;
+}
+
+AggregateResult run_many(RunConfig config, int num_seeds,
+                         uint64_t base_seed) {
+  AggregateResult agg;
+  agg.seeds = num_seeds;
+  for (int s = 0; s < num_seeds; ++s) {
+    config.seed = base_seed + static_cast<uint64_t>(s);
+    const RunResult r = run_experiment(config);
+    agg.msg_count.add(static_cast<double>(r.stats.total_sent_count()));
+    agg.msg_bytes.add(static_cast<double>(r.stats.total_sent_bytes()));
+    agg.wan_bytes.add(static_cast<double>(r.stats.wan_sent_bytes()));
+    for (int t = 0; t < wire::kMessageTypeCount; ++t) {
+      const auto& ts = r.stats.of(static_cast<wire::MessageType>(t));
+      agg.count_by_type[static_cast<size_t>(t)].add(
+          static_cast<double>(ts.sent_count));
+      agg.bytes_by_type[static_cast<size_t>(t)].add(
+          static_cast<double>(ts.sent_bytes));
+    }
+    agg.puts_attempted.add(r.puts_attempted);
+    agg.puts_acked.add(r.puts_acked);
+    agg.amr.add(r.amr);
+    agg.excess_amr.add(r.excess_amr);
+    agg.durable_not_amr.add(r.durable_not_amr);
+    agg.non_durable.add(r.non_durable);
+    agg.end_time_s.add(static_cast<double>(r.end_time) /
+                       static_cast<double>(kMicrosPerSecond));
+  }
+  return agg;
+}
+
+RunConfig paper_default_config() {
+  RunConfig config;
+  config.topology = ClusterTopology{};       // 2 DCs × (2 KLS + 3 FS)
+  config.workload.num_puts = 100;            // §5.1
+  config.workload.value_size = 100 * 1024;   // 100 × 2^10 B
+  config.workload.policy = Policy{};         // (k=4, n=12)
+  return config;
+}
+
+}  // namespace pahoehoe::core

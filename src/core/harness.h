@@ -1,0 +1,110 @@
+// Experiment harness: one self-contained simulated run of the paper's
+// workload under a fault schedule, plus multi-seed aggregation (the paper
+// runs 50–150 seeds and reports means with 95% confidence checks, §5.1).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/cluster.h"
+#include "core/config.h"
+#include "core/workload.h"
+#include "net/network.h"
+
+namespace pahoehoe::core {
+
+/// Declarative fault to install before the run starts.
+struct FaultSpec {
+  enum class Kind {
+    kFsBlackout,   ///< drop all traffic of FS (dc, index) in [start, end)
+    kKlsBlackout,  ///< drop all traffic of KLS (dc, index) in [start, end)
+    kDcPartition,  ///< isolate an entire data center in [start, end)
+    kUniformLoss,  ///< drop every message iid with `rate`, whole run
+    kFsCrash,      ///< crash FS (dc, index) at `start`, recover at `end`
+                   ///< (volatile state lost; stable storage survives)
+    kKlsCrash,     ///< same for a KLS
+  };
+
+  Kind kind = Kind::kUniformLoss;
+  int dc = 0;
+  int index_in_dc = 0;
+  SimTime start = 0;
+  SimTime end = 0;
+  double rate = 0.0;
+
+  static FaultSpec fs_blackout(int dc, int index, SimTime start, SimTime end);
+  static FaultSpec kls_blackout(int dc, int index, SimTime start,
+                                SimTime end);
+  static FaultSpec dc_partition(int dc, SimTime start, SimTime end);
+  static FaultSpec uniform_loss(double rate);
+  static FaultSpec fs_crash(int dc, int index, SimTime start, SimTime end);
+  static FaultSpec kls_crash(int dc, int index, SimTime start, SimTime end);
+};
+
+struct RunConfig {
+  ClusterTopology topology;
+  ConvergenceOptions convergence;
+  ProxyOptions proxy;
+  WorkloadConfig workload;
+  net::NetworkConfig network;
+  std::vector<FaultSpec> faults;
+  uint64_t seed = 1;
+  /// Hard stop; generous enough for the two-month give-up horizon.
+  SimTime max_sim_time = 200LL * 24 * 3600 * kMicrosPerSecond;
+};
+
+struct RunResult {
+  net::NetworkStats stats;
+
+  int puts_attempted = 0;
+  int puts_acked = 0;    ///< success replies seen by the client
+  int puts_failed = 0;
+
+  int versions_total = 0;
+  int amr = 0;
+  /// AMR versions whose put the client saw fail (paper Fig 9 "excess AMR").
+  int excess_amr = 0;
+  int durable_not_amr = 0;  ///< should be 0 at quiescence
+  int non_durable = 0;
+  int given_up = 0;         ///< work-list entries dropped at the give-up age
+
+  /// When the last event executed — effectively the time the system went
+  /// quiet (all convergence work done or given up).
+  SimTime end_time = 0;
+  uint64_t events = 0;
+  bool quiescent = false;
+};
+
+/// Build a cluster, run the workload under the faults, drive the simulation
+/// to quiescence, and classify every attempted version with the oracle.
+RunResult run_experiment(const RunConfig& config);
+
+/// Multi-seed aggregate of RunResults.
+struct AggregateResult {
+  int seeds = 0;
+  SampleStats msg_count;
+  SampleStats msg_bytes;
+  SampleStats wan_bytes;
+  std::array<SampleStats, wire::kMessageTypeCount> count_by_type;
+  std::array<SampleStats, wire::kMessageTypeCount> bytes_by_type;
+  SampleStats puts_attempted;
+  SampleStats puts_acked;
+  SampleStats amr;
+  SampleStats excess_amr;
+  SampleStats durable_not_amr;
+  SampleStats non_durable;
+  SampleStats end_time_s;
+};
+
+/// Run `config` under seeds base_seed, base_seed+1, … and aggregate.
+AggregateResult run_many(RunConfig config, int num_seeds, uint64_t base_seed);
+
+/// The paper's default experimental setup (§5.1): 2 DCs × (2 KLS + 3 FS),
+/// 100 puts of 100 KiB, default policy. Convergence options filled by the
+/// caller.
+RunConfig paper_default_config();
+
+}  // namespace pahoehoe::core

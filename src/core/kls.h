@@ -1,0 +1,51 @@
+// Key Lookup Server (paper §2, Figures 2–4).
+//
+// A KLS persists the timestamp store (key → object versions) and the
+// metadata store (object version → (policy, locations)). It suggests
+// fragment locations for its own data center, accepts metadata stores,
+// serves timestamp retrievals for gets, and participates in convergence by
+// merging metadata and verifying completeness.
+#pragma once
+
+#include <cstdint>
+
+#include "core/config.h"
+#include "core/server.h"
+#include "storage/stores.h"
+#include "wire/messages.h"
+
+namespace pahoehoe::core {
+
+class KeyLookupServer : public Server {
+ public:
+  KeyLookupServer(sim::Simulator& sim, net::Network& net,
+                  std::shared_ptr<const ClusterView> view, NodeId id,
+                  DataCenterId dc);
+
+  // Persistent stores, exposed read-only for the experiment oracle & tests.
+  const storage::TimestampStore& timestamp_store() const { return store_ts_; }
+  const storage::MetaStore& meta_store() const { return store_meta_; }
+
+  uint64_t decide_locs_served() const { return decide_locs_served_; }
+
+ protected:
+  void dispatch(const wire::Envelope& env) override;
+
+ private:
+  void on_decide_locs(NodeId from, const wire::DecideLocsReq& req);
+  void on_store_metadata(NodeId from, const wire::StoreMetadataReq& req);
+  void on_retrieve_ts(NodeId from, const wire::RetrieveTsReq& req);
+  void on_kls_converge(NodeId from, const wire::KlsConvergeReq& req);
+
+  /// which_locs (Fig 2): start from any persisted metadata for `ov` and fill
+  /// this data center's undecided slots with the deterministic placement.
+  /// `value_size` seeds the metadata when the store has no better answer.
+  Metadata suggest_for(const ObjectVersionId& ov, const Policy& policy,
+                       uint64_t value_size) const;
+
+  storage::TimestampStore store_ts_;
+  storage::MetaStore store_meta_;
+  uint64_t decide_locs_served_ = 0;
+};
+
+}  // namespace pahoehoe::core

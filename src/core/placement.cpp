@@ -1,0 +1,61 @@
+#include "core/placement.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/check.h"
+
+namespace pahoehoe::core {
+
+std::pair<int, int> dc_slot_range(const Policy& policy, int num_dcs,
+                                  DataCenterId dc) {
+  PAHOEHOE_CHECK(num_dcs >= 1 && dc.valid() && dc.value < num_dcs);
+  const int n = policy.n;
+  const int base = n / num_dcs;
+  const int extra = n % num_dcs;
+  int begin = 0;
+  for (int d = 0; d < dc.value; ++d) {
+    begin += base + (d < extra ? 1 : 0);
+  }
+  const int share = base + (dc.value < extra ? 1 : 0);
+  return {begin, begin + share};
+}
+
+DataCenterId dc_of_slot(const Policy& policy, int num_dcs, int slot) {
+  PAHOEHOE_CHECK(slot >= 0 && slot < policy.n);
+  for (int d = 0; d < num_dcs; ++d) {
+    auto [begin, end] = dc_slot_range(policy, num_dcs, DataCenterId{
+                                                           static_cast<uint8_t>(d)});
+    if (slot >= begin && slot < end) return DataCenterId{static_cast<uint8_t>(d)};
+  }
+  PAHOEHOE_CHECK_MSG(false, "slot outside all DC ranges");
+  return DataCenterId{};
+}
+
+std::vector<std::optional<Location>> suggest_locations(
+    const Policy& policy, const ObjectVersionId& ov, DataCenterId dc,
+    const std::vector<NodeId>& fs_in_dc, int disks_per_fs, int num_dcs) {
+  PAHOEHOE_CHECK(!fs_in_dc.empty() && disks_per_fs >= 1);
+  std::vector<std::optional<Location>> out(policy.n, std::nullopt);
+  const auto [begin, end] = dc_slot_range(policy, num_dcs, dc);
+
+  // Deterministic per-object rotation spreads load across FSs for policies
+  // that do not use every slot a data center could host.
+  const size_t rotation =
+      std::hash<ObjectVersionId>{}(ov) % fs_in_dc.size();
+  const int per_fs_cap =
+      std::min<int>(policy.max_frags_per_fs, disks_per_fs);
+  const int capacity = static_cast<int>(fs_in_dc.size()) * per_fs_cap;
+
+  const int want = end - begin;
+  const int give = std::min(want, capacity);
+  for (int j = 0; j < give; ++j) {
+    const size_t fs_index = (rotation + static_cast<size_t>(j)) % fs_in_dc.size();
+    const int disk = j / static_cast<int>(fs_in_dc.size());
+    out[static_cast<size_t>(begin + j)] =
+        Location{fs_in_dc[fs_index], static_cast<uint8_t>(disk)};
+  }
+  return out;
+}
+
+}  // namespace pahoehoe::core

@@ -1,0 +1,39 @@
+// Fragment placement: the KLS-side `which_locs` logic (paper Fig 2).
+//
+// Fragment slots are statically partitioned across data centers: DC 0 owns
+// slots [0, share_0), DC 1 the next share, and so on, with the shares as
+// equal as n allows (remainders go to lower-numbered DCs). With the default
+// policy this puts all k data fragments in DC 0, satisfying the
+// "all data fragments at the same data center" clause. Within a data center
+// a KLS assigns slots round-robin across its FSs (then across disks),
+// rotated by a hash of the object version so load spreads across objects.
+// The assignment is a pure function of (policy, ov, dc, fs list), so every
+// KLS in a data center suggests identical locations and repeated probes
+// cannot create the paper's "too many locations" inefficiency.
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace pahoehoe::core {
+
+/// [begin, end) fragment-slot range owned by `dc`.
+std::pair<int, int> dc_slot_range(const Policy& policy, int num_dcs,
+                                  DataCenterId dc);
+
+/// The data center owning fragment slot `slot`.
+DataCenterId dc_of_slot(const Policy& policy, int num_dcs, int slot);
+
+/// Suggest locations for `dc`'s slot range. Returns a slot-aligned vector of
+/// length policy.n with only that range filled (other slots nullopt).
+/// Suggests at most fs_in_dc.size() * min(policy.max_frags_per_fs,
+/// disks_per_fs) locations; if the range is larger, trailing slots stay
+/// undecided (the policy cannot be met by this data center).
+std::vector<std::optional<Location>> suggest_locations(
+    const Policy& policy, const ObjectVersionId& ov, DataCenterId dc,
+    const std::vector<NodeId>& fs_in_dc, int disks_per_fs, int num_dcs);
+
+}  // namespace pahoehoe::core

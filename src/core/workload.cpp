@@ -1,0 +1,64 @@
+#include "core/workload.h"
+
+#include <random>
+
+namespace pahoehoe::core {
+
+WorkloadDriver::WorkloadDriver(sim::Simulator& sim, Proxy& proxy,
+                               WorkloadConfig config, uint64_t value_seed)
+    : sim_(sim), proxy_(proxy), config_(config), value_seed_(value_seed) {
+  PAHOEHOE_CHECK(config_.num_puts >= 0 && config_.policy.valid());
+}
+
+Key WorkloadDriver::key_for(int object_index) const {
+  return Key{config_.key_prefix + std::to_string(object_index)};
+}
+
+Bytes WorkloadDriver::value_for(int object_index) const {
+  // Deterministic content, regenerable for verification without retaining
+  // every value in memory. Retries re-put the identical value.
+  std::mt19937_64 gen(value_seed_ ^
+                      (0x9e3779b97f4a7c15ULL * (object_index + 1)));
+  Bytes value(config_.value_size);
+  size_t i = 0;
+  while (i + 8 <= value.size()) {
+    const uint64_t word = gen();
+    for (int b = 0; b < 8; ++b) {
+      value[i++] = static_cast<uint8_t>(word >> (8 * b));
+    }
+  }
+  for (uint64_t word = gen(); i < value.size(); word >>= 8) {
+    value[i++] = static_cast<uint8_t>(word);
+  }
+  return value;
+}
+
+void WorkloadDriver::start() {
+  for (int i = 0; i < config_.num_puts; ++i) {
+    const SimTime when = config_.start_time + i * config_.spacing;
+    sim_.schedule_at(when, [this, i] { issue(i, 1); });
+  }
+}
+
+void WorkloadDriver::issue(int object_index, int attempt) {
+  ++attempts_;
+  proxy_.put(
+      key_for(object_index), value_for(object_index), config_.policy,
+      [this, object_index, attempt](const PutResult& result) {
+        records_.push_back(
+            PutRecord{result.ov, object_index, attempt, result.success});
+        if (result.success) {
+          ++successes_;
+          return;
+        }
+        ++failures_;
+        if (config_.retry_failed && attempt < config_.max_attempts) {
+          sim_.schedule_after(config_.retry_delay,
+                              [this, object_index, attempt] {
+                                issue(object_index, attempt + 1);
+                              });
+        }
+      });
+}
+
+}  // namespace pahoehoe::core

@@ -1,0 +1,67 @@
+// Client workload driver (paper §5.1): issues puts through a proxy,
+// optionally retrying failures (the lossy-network experiment counts the
+// attempts needed to collect the target number of success replies).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/proxy.h"
+#include "sim/simulator.h"
+
+namespace pahoehoe::core {
+
+struct WorkloadConfig {
+  int num_puts = 100;               ///< distinct objects
+  size_t value_size = 100 * 1024;   ///< 100 KiB, the paper's object size
+  Policy policy;
+  SimTime start_time = 0;
+  SimTime spacing = 1 * kMicrosPerSecond;  ///< gap between first attempts
+  /// Retry a failed put for the same key (new object version) until it
+  /// succeeds or max_attempts is reached.
+  bool retry_failed = false;
+  SimTime retry_delay = 2 * kMicrosPerSecond;
+  int max_attempts = 50;
+  std::string key_prefix = "obj-";
+};
+
+/// One put attempt as observed by the client.
+struct PutRecord {
+  ObjectVersionId ov;
+  int object_index = 0;
+  int attempt = 0;
+  bool acked = false;  ///< proxy reported success to the client
+};
+
+class WorkloadDriver {
+ public:
+  WorkloadDriver(sim::Simulator& sim, Proxy& proxy, WorkloadConfig config,
+                 uint64_t value_seed);
+
+  /// Schedule the whole workload (non-blocking; runs inside the simulator).
+  void start();
+
+  int attempts() const { return attempts_; }
+  int successes() const { return successes_; }
+  int failures() const { return failures_; }
+  const std::vector<PutRecord>& records() const { return records_; }
+
+  Key key_for(int object_index) const;
+  /// The (deterministic, regenerable) value stored for an object.
+  Bytes value_for(int object_index) const;
+
+ private:
+  void issue(int object_index, int attempt);
+
+  sim::Simulator& sim_;
+  Proxy& proxy_;
+  WorkloadConfig config_;
+  uint64_t value_seed_;
+  int attempts_ = 0;
+  int successes_ = 0;
+  int failures_ = 0;
+  std::vector<PutRecord> records_;
+};
+
+}  // namespace pahoehoe::core

@@ -1,0 +1,73 @@
+#include "erasure/gf256.h"
+
+#include "common/check.h"
+
+namespace pahoehoe::gf256 {
+namespace detail {
+
+namespace {
+
+Tables build_tables() {
+  Tables t{};
+  // Generator 2 over the field reduced by 0x11d.
+  uint16_t x = 1;
+  for (int i = 0; i < 255; ++i) {
+    t.exp[i] = static_cast<uint8_t>(x);
+    t.log[static_cast<uint8_t>(x)] = static_cast<uint8_t>(i);
+    x <<= 1;
+    if (x & 0x100) x ^= 0x11d;
+  }
+  for (int i = 255; i < 512; ++i) t.exp[i] = t.exp[i - 255];
+  t.log[0] = 0;  // never consulted; log(0) is undefined
+
+  for (int a = 0; a < 256; ++a) {
+    for (int b = 0; b < 256; ++b) {
+      if (a == 0 || b == 0) {
+        t.mul[a][b] = 0;
+      } else {
+        t.mul[a][b] = t.exp[t.log[a] + t.log[b]];
+      }
+    }
+  }
+  t.inv[0] = 0;  // never consulted
+  for (int a = 1; a < 256; ++a) {
+    t.inv[a] = t.exp[255 - t.log[a]];
+  }
+  return t;
+}
+
+}  // namespace
+
+const Tables& tables() {
+  static const Tables t = build_tables();
+  return t;
+}
+
+}  // namespace detail
+
+uint8_t inverse(uint8_t a) {
+  PAHOEHOE_CHECK_MSG(a != 0, "GF(2^8) inverse of zero");
+  return detail::tables().inv[a];
+}
+
+uint8_t pow(uint8_t a, unsigned e) {
+  if (e == 0) return 1;
+  if (a == 0) return 0;
+  const auto& t = detail::tables();
+  const unsigned log_a = t.log[a];
+  return t.exp[(log_a * (e % 255ull)) % 255];
+}
+
+void mul_acc(std::span<uint8_t> dst, std::span<const uint8_t> src,
+             uint8_t coef) {
+  PAHOEHOE_CHECK(dst.size() == src.size());
+  if (coef == 0) return;
+  if (coef == 1) {
+    for (size_t i = 0; i < dst.size(); ++i) dst[i] ^= src[i];
+    return;
+  }
+  const auto& row = detail::tables().mul[coef];
+  for (size_t i = 0; i < dst.size(); ++i) dst[i] ^= row[src[i]];
+}
+
+}  // namespace pahoehoe::gf256

@@ -1,0 +1,47 @@
+// Arithmetic over GF(2^8) with the AES/Reed-Solomon-conventional reduction
+// polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11d), generator 2.
+//
+// Tables are built once at static-initialization time; multiplication is a
+// single 64 KiB table lookup, which keeps encode/decode fast enough for the
+// paper's workloads (100 KiB objects) without SIMD.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace pahoehoe::gf256 {
+
+/// Addition and subtraction in GF(2^8) are both XOR.
+constexpr uint8_t add(uint8_t a, uint8_t b) { return a ^ b; }
+constexpr uint8_t sub(uint8_t a, uint8_t b) { return a ^ b; }
+
+namespace detail {
+struct Tables {
+  std::array<uint8_t, 256> log;            // log[0] unused
+  std::array<uint8_t, 512> exp;            // doubled to skip the mod 255
+  std::array<std::array<uint8_t, 256>, 256> mul;
+  std::array<uint8_t, 256> inv;            // inv[0] unused
+};
+const Tables& tables();
+}  // namespace detail
+
+/// Product of a and b.
+inline uint8_t mul(uint8_t a, uint8_t b) {
+  return detail::tables().mul[a][b];
+}
+
+/// Multiplicative inverse of a; a must be nonzero.
+uint8_t inverse(uint8_t a);
+
+/// Quotient a/b; b must be nonzero.
+inline uint8_t div(uint8_t a, uint8_t b) { return mul(a, inverse(b)); }
+
+/// a raised to the power e (e >= 0).
+uint8_t pow(uint8_t a, unsigned e);
+
+/// dst[i] ^= coef * src[i] for all i — the inner loop of encode/decode.
+void mul_acc(std::span<uint8_t> dst, std::span<const uint8_t> src,
+             uint8_t coef);
+
+}  // namespace pahoehoe::gf256

@@ -1,0 +1,119 @@
+#include "erasure/matrix.h"
+
+#include "common/check.h"
+#include "erasure/gf256.h"
+
+namespace pahoehoe::erasure {
+
+Matrix::Matrix(int rows, int cols)
+    : rows_(rows),
+      cols_(cols),
+      data_(static_cast<size_t>(rows) * static_cast<size_t>(cols), 0) {
+  PAHOEHOE_CHECK(rows >= 0 && cols >= 0);
+}
+
+size_t Matrix::index(int r, int c) const {
+  PAHOEHOE_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+  return static_cast<size_t>(r) * static_cast<size_t>(cols_) +
+         static_cast<size_t>(c);
+}
+
+Matrix Matrix::identity(int size) {
+  Matrix m(size, size);
+  for (int i = 0; i < size; ++i) m.at(i, i) = 1;
+  return m;
+}
+
+Matrix Matrix::vandermonde(int rows, int cols) {
+  PAHOEHOE_CHECK_MSG(rows <= 256, "Vandermonde rows exceed field size");
+  Matrix m(rows, cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      m.at(r, c) = gf256::pow(static_cast<uint8_t>(r), static_cast<unsigned>(c));
+    }
+  }
+  return m;
+}
+
+Matrix Matrix::multiply(const Matrix& rhs) const {
+  PAHOEHOE_CHECK(cols_ == rhs.rows_);
+  Matrix out(rows_, rhs.cols_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int k = 0; k < cols_; ++k) {
+      const uint8_t a = at(r, k);
+      if (a == 0) continue;
+      for (int c = 0; c < rhs.cols_; ++c) {
+        out.at(r, c) =
+            gf256::add(out.at(r, c), gf256::mul(a, rhs.at(k, c)));
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::select_rows(const std::vector<int>& row_indices) const {
+  Matrix out(static_cast<int>(row_indices.size()), cols_);
+  for (size_t i = 0; i < row_indices.size(); ++i) {
+    for (int c = 0; c < cols_; ++c) {
+      out.at(static_cast<int>(i), c) = at(row_indices[i], c);
+    }
+  }
+  return out;
+}
+
+bool Matrix::try_invert(Matrix* out) const {
+  if (rows_ != cols_) return false;
+  const int n = rows_;
+  Matrix work = *this;
+  Matrix inv = identity(n);
+  for (int col = 0; col < n; ++col) {
+    // Find a pivot row at or below `col`.
+    int pivot = -1;
+    for (int r = col; r < n; ++r) {
+      if (work.at(r, col) != 0) {
+        pivot = r;
+        break;
+      }
+    }
+    if (pivot < 0) return false;
+    if (pivot != col) {
+      for (int c = 0; c < n; ++c) {
+        std::swap(work.at(pivot, c), work.at(col, c));
+        std::swap(inv.at(pivot, c), inv.at(col, c));
+      }
+    }
+    // Scale the pivot row so the pivot is 1.
+    const uint8_t scale = gf256::inverse(work.at(col, col));
+    for (int c = 0; c < n; ++c) {
+      work.at(col, c) = gf256::mul(work.at(col, c), scale);
+      inv.at(col, c) = gf256::mul(inv.at(col, c), scale);
+    }
+    // Eliminate the column everywhere else.
+    for (int r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const uint8_t factor = work.at(r, col);
+      if (factor == 0) continue;
+      for (int c = 0; c < n; ++c) {
+        work.at(r, c) =
+            gf256::sub(work.at(r, c), gf256::mul(factor, work.at(col, c)));
+        inv.at(r, c) =
+            gf256::sub(inv.at(r, c), gf256::mul(factor, inv.at(col, c)));
+      }
+    }
+  }
+  *out = std::move(inv);
+  return true;
+}
+
+Matrix Matrix::inverted() const {
+  Matrix out;
+  PAHOEHOE_CHECK_MSG(try_invert(&out), "matrix is singular");
+  return out;
+}
+
+bool Matrix::invertible() const {
+  Matrix scratch;
+  return try_invert(&scratch);
+}
+
+}  // namespace pahoehoe::erasure

@@ -1,0 +1,145 @@
+#include "erasure/reed_solomon.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.h"
+#include "erasure/gf256.h"
+
+namespace pahoehoe::erasure {
+namespace {
+
+// Vandermonde-to-systematic transform: V (n×k) times inverse(top k×k of V)
+// leaves the top k rows as identity while preserving the property that any
+// k rows form an invertible matrix (row operations on the right factor do
+// not change row-subset independence).
+Matrix build_systematic_matrix(int k, int n) {
+  Matrix v = Matrix::vandermonde(n, k);
+  std::vector<int> top(static_cast<size_t>(k));
+  for (int i = 0; i < k; ++i) top[static_cast<size_t>(i)] = i;
+  Matrix top_inv = v.select_rows(top).inverted();
+  return v.multiply(top_inv);
+}
+
+}  // namespace
+
+ReedSolomon::ReedSolomon(int k, int n)
+    : k_(k), n_(n), encode_matrix_(build_systematic_matrix(k, n)) {
+  PAHOEHOE_CHECK_MSG(k >= 1 && k <= n && n <= 255,
+                     "ReedSolomon requires 1 <= k <= n <= 255");
+}
+
+size_t ReedSolomon::fragment_size(size_t value_size) const {
+  return (value_size + static_cast<size_t>(k_) - 1) /
+         static_cast<size_t>(k_);
+}
+
+std::vector<Bytes> ReedSolomon::encode(const Bytes& value) const {
+  const size_t frag_size = fragment_size(value.size());
+  std::vector<Bytes> fragments(static_cast<size_t>(n_));
+
+  // Data fragments: stripe the value, zero-padding the tail.
+  for (int i = 0; i < k_; ++i) {
+    Bytes frag(frag_size, 0);
+    const size_t offset = static_cast<size_t>(i) * frag_size;
+    if (offset < value.size()) {
+      const size_t take = std::min(frag_size, value.size() - offset);
+      std::memcpy(frag.data(), value.data() + offset, take);
+    }
+    fragments[static_cast<size_t>(i)] = std::move(frag);
+  }
+
+  // Parity fragments: row i of the encode matrix applied to the data rows.
+  for (int i = k_; i < n_; ++i) {
+    Bytes frag(frag_size, 0);
+    for (int j = 0; j < k_; ++j) {
+      gf256::mul_acc(frag, fragments[static_cast<size_t>(j)],
+                     encode_matrix_.at(i, j));
+    }
+    fragments[static_cast<size_t>(i)] = std::move(frag);
+  }
+  return fragments;
+}
+
+std::vector<Bytes> ReedSolomon::recover_data_fragments(
+    const std::vector<IndexedFragment>& fragments, size_t frag_size) const {
+  PAHOEHOE_CHECK_MSG(fragments.size() >= static_cast<size_t>(k_),
+                     "need at least k fragments to decode");
+
+  // Use the first k distinct indices supplied.
+  std::vector<int> indices;
+  std::vector<const Bytes*> data;
+  for (const auto& f : fragments) {
+    if (std::find(indices.begin(), indices.end(), f.index) != indices.end()) {
+      continue;
+    }
+    PAHOEHOE_CHECK(f.index >= 0 && f.index < n_ && f.data != nullptr);
+    PAHOEHOE_CHECK_MSG(f.data->size() == frag_size,
+                       "fragment size mismatch");
+    indices.push_back(f.index);
+    data.push_back(f.data);
+    if (indices.size() == static_cast<size_t>(k_)) break;
+  }
+  PAHOEHOE_CHECK_MSG(indices.size() == static_cast<size_t>(k_),
+                     "need k distinct fragment indices to decode");
+
+  const Matrix decode = encode_matrix_.select_rows(indices).inverted();
+  std::vector<Bytes> data_frags(static_cast<size_t>(k_),
+                                Bytes(frag_size, 0));
+  for (int r = 0; r < k_; ++r) {
+    for (int c = 0; c < k_; ++c) {
+      gf256::mul_acc(data_frags[static_cast<size_t>(r)],
+                     *data[static_cast<size_t>(c)], decode.at(r, c));
+    }
+  }
+  return data_frags;
+}
+
+Bytes ReedSolomon::decode(const std::vector<IndexedFragment>& fragments,
+                          size_t value_size) const {
+  const size_t frag_size = fragment_size(value_size);
+  if (value_size == 0) return {};
+  std::vector<Bytes> data_frags = recover_data_fragments(fragments, frag_size);
+
+  Bytes value(value_size);
+  for (int i = 0; i < k_; ++i) {
+    const size_t offset = static_cast<size_t>(i) * frag_size;
+    if (offset >= value_size) break;
+    const size_t take = std::min(frag_size, value_size - offset);
+    std::memcpy(value.data() + offset,
+                data_frags[static_cast<size_t>(i)].data(), take);
+  }
+  return value;
+}
+
+std::vector<Bytes> ReedSolomon::regenerate(
+    const std::vector<IndexedFragment>& available,
+    const std::vector<int>& target_indices, size_t value_size) const {
+  return regenerate_sized(available, target_indices,
+                          fragment_size(value_size));
+}
+
+std::vector<Bytes> ReedSolomon::regenerate_sized(
+    const std::vector<IndexedFragment>& available,
+    const std::vector<int>& target_indices, size_t frag_size) const {
+  std::vector<Bytes> out;
+  out.reserve(target_indices.size());
+  if (frag_size == 0) {
+    out.assign(target_indices.size(), Bytes{});
+    return out;
+  }
+  std::vector<Bytes> data_frags = recover_data_fragments(available, frag_size);
+
+  for (int target : target_indices) {
+    PAHOEHOE_CHECK(target >= 0 && target < n_);
+    Bytes frag(frag_size, 0);
+    for (int j = 0; j < k_; ++j) {
+      gf256::mul_acc(frag, data_frags[static_cast<size_t>(j)],
+                     encode_matrix_.at(target, j));
+    }
+    out.push_back(std::move(frag));
+  }
+  return out;
+}
+
+}  // namespace pahoehoe::erasure

@@ -1,0 +1,170 @@
+#include "net/network.h"
+
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace pahoehoe::net {
+
+bool NodeBlackout::should_drop(NodeId from, NodeId to,
+                               wire::MessageType /*type*/, SimTime now,
+                               Rng& /*rng*/) {
+  if (now < start_ || now >= end_) return false;
+  return from == node_ || to == node_;
+}
+
+bool Partition::should_drop(NodeId from, NodeId to,
+                            wire::MessageType /*type*/, SimTime now,
+                            Rng& /*rng*/) {
+  if (now < start_ || now >= end_) return false;
+  const bool from_in = group_.count(from) > 0;
+  const bool to_in = group_.count(to) > 0;
+  return from_in != to_in;
+}
+
+bool UniformLoss::should_drop(NodeId /*from*/, NodeId /*to*/,
+                              wire::MessageType /*type*/, SimTime /*now*/,
+                              Rng& rng) {
+  return rng.chance(rate_);
+}
+
+bool TypedDrop::should_drop(NodeId /*from*/, NodeId /*to*/,
+                            wire::MessageType type, SimTime /*now*/,
+                            Rng& /*rng*/) {
+  return type == type_;
+}
+
+void NetworkStats::record_sent(wire::MessageType type, size_t bytes) {
+  auto& s = by_type_[static_cast<size_t>(type)];
+  s.sent_count += 1;
+  s.sent_bytes += bytes;
+}
+
+void NetworkStats::record_dropped(wire::MessageType type) {
+  by_type_[static_cast<size_t>(type)].dropped_count += 1;
+}
+
+void NetworkStats::record_delivered(wire::MessageType type) {
+  by_type_[static_cast<size_t>(type)].delivered_count += 1;
+}
+
+const NetworkStats::TypeStats& NetworkStats::of(wire::MessageType type) const {
+  return by_type_[static_cast<size_t>(type)];
+}
+
+uint64_t NetworkStats::total_sent_count() const {
+  uint64_t total = 0;
+  for (const auto& s : by_type_) total += s.sent_count;
+  return total;
+}
+
+uint64_t NetworkStats::total_sent_bytes() const {
+  uint64_t total = 0;
+  for (const auto& s : by_type_) total += s.sent_bytes;
+  return total;
+}
+
+void NetworkStats::record_wan(size_t bytes) {
+  wan_sent_count_ += 1;
+  wan_sent_bytes_ += bytes;
+}
+
+void NetworkStats::reset() {
+  by_type_.fill(TypeStats{});
+  wan_sent_bytes_ = 0;
+  wan_sent_count_ = 0;
+}
+
+std::string NetworkStats::to_table() const {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-20s %10s %14s %9s %10s\n", "type",
+                "sent", "bytes", "dropped", "delivered");
+  out += line;
+  for (int i = 0; i < wire::kMessageTypeCount; ++i) {
+    const auto& s = by_type_[static_cast<size_t>(i)];
+    if (s.sent_count == 0) continue;
+    std::snprintf(line, sizeof(line), "%-20s %10llu %14llu %9llu %10llu\n",
+                  wire::to_string(static_cast<wire::MessageType>(i)),
+                  static_cast<unsigned long long>(s.sent_count),
+                  static_cast<unsigned long long>(s.sent_bytes),
+                  static_cast<unsigned long long>(s.dropped_count),
+                  static_cast<unsigned long long>(s.delivered_count));
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "%-20s %10llu %14llu\n", "TOTAL",
+                static_cast<unsigned long long>(total_sent_count()),
+                static_cast<unsigned long long>(total_sent_bytes()));
+  out += line;
+  return out;
+}
+
+Network::Network(sim::Simulator& sim, NetworkConfig config)
+    : sim_(sim), config_(config) {
+  PAHOEHOE_CHECK(config_.min_latency >= 0 &&
+                 config_.min_latency <= config_.max_latency);
+}
+
+void Network::register_node(NodeId id, MessageHandler* handler) {
+  PAHOEHOE_CHECK(id.valid() && handler != nullptr);
+  PAHOEHOE_CHECK_MSG(handlers_.emplace(id, handler).second,
+                     "node id registered twice");
+}
+
+void Network::add_fault(std::shared_ptr<FaultRule> rule) {
+  PAHOEHOE_CHECK(rule != nullptr);
+  faults_.push_back(std::move(rule));
+}
+
+void Network::clear_faults() { faults_.clear(); }
+
+SimTime Network::sample_latency() {
+  return sim_.rng().uniform_int(config_.min_latency, config_.max_latency);
+}
+
+void Network::send(NodeId from, NodeId to, wire::MessageType type,
+                   Bytes payload) {
+  PAHOEHOE_CHECK_MSG(handlers_.count(to) > 0, "send to unregistered node");
+  wire::Envelope env{from, to, type, std::move(payload)};
+  stats_.record_sent(type, env.wire_size());
+  tracer_.record(sim_.now(), TraceEvent::kSend, from, to, type,
+                 env.wire_size());
+  if (dc_resolver_) {
+    const DataCenterId from_dc = dc_resolver_(from);
+    const DataCenterId to_dc = dc_resolver_(to);
+    if (from_dc.valid() && to_dc.valid() && from_dc != to_dc) {
+      stats_.record_wan(env.wire_size());
+    }
+  }
+
+  for (const auto& rule : faults_) {
+    if (rule->should_drop(from, to, type, sim_.now(), sim_.rng())) {
+      stats_.record_dropped(type);
+      tracer_.record(sim_.now(), TraceEvent::kDrop, from, to, type,
+                     env.wire_size());
+      return;
+    }
+  }
+
+  const bool duplicate = config_.duplication_rate > 0.0 &&
+                         sim_.rng().chance(config_.duplication_rate);
+  const int copies = duplicate ? 2 : 1;
+  for (int i = 0; i < copies; ++i) {
+    const SimTime latency = sample_latency();
+    // The envelope is shared by reference count so a duplicated delivery
+    // does not copy a fragment payload.
+    auto shared = std::make_shared<wire::Envelope>(env);
+    sim_.schedule_after(latency, [this, shared] { deliver(*shared); });
+  }
+}
+
+void Network::deliver(const wire::Envelope& env) {
+  auto it = handlers_.find(env.to);
+  PAHOEHOE_CHECK(it != handlers_.end());
+  stats_.record_delivered(env.type);
+  tracer_.record(sim_.now(), TraceEvent::kDeliver, env.from, env.to,
+                 env.type, env.wire_size());
+  it->second->handle(env);
+}
+
+}  // namespace pahoehoe::net

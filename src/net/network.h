@@ -1,0 +1,194 @@
+// Simulated point-to-point network (paper §5.1).
+//
+// Every message is delivered with latency drawn uniformly from
+// [10 ms, 30 ms] unless a fault rule drops it. Fault rules compose: node
+// blackouts (crash/partition emulation — "drop all messages in and out of
+// that simulated node"), group partitions, and uniform iid loss. Channels
+// may also duplicate messages with a configurable probability (the system
+// model assumes fair losses and *bounded duplication*).
+//
+// Statistics record, per message type, the messages and bytes *sent* —
+// dropped messages count as sent, matching the paper's cost metric.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+#include "net/trace.h"
+#include "sim/simulator.h"
+#include "wire/messages.h"
+
+namespace pahoehoe::net {
+
+/// Implemented by every node that can receive messages.
+class MessageHandler {
+ public:
+  virtual ~MessageHandler() = default;
+  virtual void handle(const wire::Envelope& env) = 0;
+};
+
+/// Decides whether a given message is dropped. Rules are consulted at send
+/// time; any rule voting "drop" drops the message.
+class FaultRule {
+ public:
+  virtual ~FaultRule() = default;
+  virtual bool should_drop(NodeId from, NodeId to, wire::MessageType type,
+                           SimTime now, Rng& rng) = 0;
+};
+
+/// Drops all traffic in and out of one node during [start, end).
+class NodeBlackout : public FaultRule {
+ public:
+  NodeBlackout(NodeId node, SimTime start, SimTime end)
+      : node_(node), start_(start), end_(end) {}
+  bool should_drop(NodeId from, NodeId to, wire::MessageType type,
+                   SimTime now, Rng& rng) override;
+
+ private:
+  NodeId node_;
+  SimTime start_;
+  SimTime end_;
+};
+
+/// Drops all traffic crossing the boundary of `group` during [start, end).
+class Partition : public FaultRule {
+ public:
+  Partition(std::unordered_set<NodeId> group, SimTime start, SimTime end)
+      : group_(std::move(group)), start_(start), end_(end) {}
+  bool should_drop(NodeId from, NodeId to, wire::MessageType type,
+                   SimTime now, Rng& rng) override;
+
+ private:
+  std::unordered_set<NodeId> group_;
+  SimTime start_;
+  SimTime end_;
+};
+
+/// Drops each message independently with probability `rate` (system-wide).
+class UniformLoss : public FaultRule {
+ public:
+  explicit UniformLoss(double rate) : rate_(rate) {}
+  bool should_drop(NodeId from, NodeId to, wire::MessageType type,
+                   SimTime now, Rng& rng) override;
+
+ private:
+  double rate_;
+};
+
+/// Drops every message of one type (targeted fault injection in tests:
+/// e.g. "every AMR indication is lost").
+class TypedDrop : public FaultRule {
+ public:
+  explicit TypedDrop(wire::MessageType type) : type_(type) {}
+  bool should_drop(NodeId from, NodeId to, wire::MessageType type,
+                   SimTime now, Rng& rng) override;
+
+ private:
+  wire::MessageType type_;
+};
+
+/// Per-message-type counters. Indexed by wire::MessageType.
+class NetworkStats {
+ public:
+  struct TypeStats {
+    uint64_t sent_count = 0;
+    uint64_t sent_bytes = 0;
+    uint64_t dropped_count = 0;
+    uint64_t delivered_count = 0;
+  };
+
+  void record_sent(wire::MessageType type, size_t bytes);
+  void record_dropped(wire::MessageType type);
+  void record_delivered(wire::MessageType type);
+  void record_wan(size_t bytes);
+
+  const TypeStats& of(wire::MessageType type) const;
+  uint64_t total_sent_count() const;
+  uint64_t total_sent_bytes() const;
+  /// Bytes sent on messages crossing a data-center boundary (requires a
+  /// dc resolver on the Network).
+  uint64_t wan_sent_bytes() const { return wan_sent_bytes_; }
+  uint64_t wan_sent_count() const { return wan_sent_count_; }
+  void reset();
+
+  /// Multi-line human-readable table of nonzero rows.
+  std::string to_table() const;
+
+ private:
+  std::array<TypeStats, wire::kMessageTypeCount> by_type_{};
+  uint64_t wan_sent_bytes_ = 0;
+  uint64_t wan_sent_count_ = 0;
+};
+
+struct NetworkConfig {
+  SimTime min_latency = 10 * kMicrosPerMilli;
+  SimTime max_latency = 30 * kMicrosPerMilli;
+  /// Probability that a delivered message is delivered twice (bounded
+  /// duplication from the system model; defaults off).
+  double duplication_rate = 0.0;
+};
+
+class Network {
+ public:
+  Network(sim::Simulator& sim, NetworkConfig config = {});
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Register the handler for a node id. A node must be registered before
+  /// anyone sends to it.
+  void register_node(NodeId id, MessageHandler* handler);
+
+  void add_fault(std::shared_ptr<FaultRule> rule);
+  void clear_faults();
+
+  /// Install a node → data-center resolver so stats can attribute WAN
+  /// (cross-data-center) traffic. Typically set by the Cluster builder.
+  void set_dc_resolver(std::function<DataCenterId(NodeId)> resolver) {
+    dc_resolver_ = std::move(resolver);
+  }
+
+  /// Serialize-and-send: records stats, applies fault rules, samples
+  /// latency, and schedules delivery.
+  void send(NodeId from, NodeId to, wire::MessageType type, Bytes payload);
+
+  NetworkStats& stats() { return stats_; }
+  const NetworkStats& stats() const { return stats_; }
+  /// Message tracing (off by default; see net/trace.h).
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
+  sim::Simulator& simulator() { return sim_; }
+
+ private:
+  void deliver(const wire::Envelope& env);
+  SimTime sample_latency();
+
+  sim::Simulator& sim_;
+  NetworkConfig config_;
+  std::unordered_map<NodeId, MessageHandler*> handlers_;
+  std::vector<std::shared_ptr<FaultRule>> faults_;
+  std::function<DataCenterId(NodeId)> dc_resolver_;
+  NetworkStats stats_;
+  Tracer tracer_;
+};
+
+/// Typed send helper for messages with a static kType.
+template <typename M>
+void send_message(Network& net, NodeId from, NodeId to, const M& msg) {
+  net.send(from, to, M::kType, msg.encode());
+}
+
+/// DecideLocsReq's type depends on the sender role (proxy vs FS).
+inline void send_message(Network& net, NodeId from, NodeId to,
+                         const wire::DecideLocsReq& msg) {
+  net.send(from, to, msg.type(), msg.encode());
+}
+
+}  // namespace pahoehoe::net

@@ -1,0 +1,281 @@
+// Protocol messages (paper Figures 2–4 plus the §4 optimization messages).
+//
+// Each message struct knows how to encode itself into a payload and decode
+// from one; the Envelope carries the routing header. Message-type names
+// follow the legends of the paper's Figures 5–8 so benchmark output can be
+// compared line-for-line.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/sha256.h"
+#include "common/types.h"
+#include "wire/serde.h"
+
+namespace pahoehoe::wire {
+
+enum class MessageType : uint16_t {
+  kDecideLocsReq = 1,    ///< proxy → KLS: suggest locations (Fig 2)
+  kDecideLocsRep = 2,    ///< KLS → proxy/FS: suggested locations
+  kFsDecideLocsReq = 3,  ///< FS → KLS: same request during convergence (§3.5)
+  kStoreMetadataReq = 4, ///< proxy → KLS: store(ov, meta)
+  kStoreMetadataRep = 5,
+  kStoreFragmentReq = 6, ///< proxy → FS: store(ov, meta, frag)
+  kStoreFragmentRep = 7,
+  kAmrIndication = 8,    ///< proxy/FS → FS: object version is AMR (§4.1)
+  kKlsConvergeReq = 9,   ///< FS → KLS: converge(ov, meta) (Fig 4)
+  kKlsConvergeRep = 10,
+  kFsConvergeReq = 11,   ///< FS → sibling FS: converge(ov, meta)
+  kFsConvergeRep = 12,
+  kRetrieveTsReq = 13,   ///< proxy → KLS: retrieve_ts(key) (Fig 3)
+  kRetrieveTsRep = 14,
+  kRetrieveFragReq = 15, ///< proxy/FS → FS: retrieve_frag(ov)
+  kRetrieveFragRep = 16,
+  kSiblingStoreReq = 17, ///< FS → sibling FS: recovered fragment push (§4.2)
+  kSiblingStoreRep = 18,
+  kKlsLocsNotify = 19,   ///< KLS → FS: locations decided for an FS request
+};
+
+/// Number of distinct message types (for stats arrays).
+constexpr int kMessageTypeCount = 20;
+
+const char* to_string(MessageType type);
+
+/// Routing header + serialized payload; what the Network actually delivers.
+/// Wire size is the fixed header (14 bytes: from, to, type, payload length)
+/// plus the payload.
+struct Envelope {
+  static constexpr size_t kHeaderBytes = 14;
+
+  NodeId from;
+  NodeId to;
+  MessageType type{};
+  Bytes payload;
+
+  size_t wire_size() const { return kHeaderBytes + payload.size(); }
+};
+
+/// Fragment store/retrieve success indicator.
+enum class Status : uint8_t { kSuccess = 0, kFailure = 1 };
+
+// --- Put path -------------------------------------------------------------
+
+struct DecideLocsReq {
+  ObjectVersionId ov;
+  Policy policy;
+  /// Size of the object version's value, when the requester knows it
+  /// (proxies always do; FSs learned it from their fragment stores). Lets a
+  /// KLS that first hears of a version through convergence record the size,
+  /// so its location notifications carry enough for recovery sizing.
+  uint64_t value_size = 0;
+  /// True when sent by an FS during convergence (§3.5): the KLS persists its
+  /// suggestion before replying and notifies the sibling FSs.
+  bool from_fs = false;
+
+  MessageType type() const {
+    return from_fs ? MessageType::kFsDecideLocsReq
+                   : MessageType::kDecideLocsReq;
+  }
+  Bytes encode() const;
+  static DecideLocsReq decode(const Bytes& payload);
+};
+
+struct DecideLocsRep {
+  ObjectVersionId ov;
+  /// Slot-aligned suggestions: locs[i] set only for fragment indices the
+  /// responding KLS's data center is responsible for.
+  Metadata meta;
+  DataCenterId dc;
+
+  static constexpr MessageType kType = MessageType::kDecideLocsRep;
+  Bytes encode() const;
+  static DecideLocsRep decode(const Bytes& payload);
+};
+
+struct StoreMetadataReq {
+  ObjectVersionId ov;
+  Metadata meta;
+
+  static constexpr MessageType kType = MessageType::kStoreMetadataReq;
+  Bytes encode() const;
+  static StoreMetadataReq decode(const Bytes& payload);
+};
+
+struct StoreMetadataRep {
+  ObjectVersionId ov;
+  Status status = Status::kSuccess;
+  /// Locations decided in the KLS's (merged) stored metadata at ack time.
+  /// The proxy may conclude a version is AMR only from acks attesting
+  /// complete metadata (decided_count == policy.n); counting a partial-
+  /// metadata ack would let a lost second-round store leave a KLS
+  /// permanently incomplete after the AMR indications killed convergence.
+  uint16_t decided_count = 0;
+
+  static constexpr MessageType kType = MessageType::kStoreMetadataRep;
+  Bytes encode() const;
+  static StoreMetadataRep decode(const Bytes& payload);
+};
+
+struct StoreFragmentReq {
+  ObjectVersionId ov;
+  Metadata meta;
+  uint16_t frag_index = 0;
+  Bytes fragment;
+  Sha256::Digest digest{};
+
+  static constexpr MessageType kType = MessageType::kStoreFragmentReq;
+  Bytes encode() const;
+  static StoreFragmentReq decode(const Bytes& payload);
+};
+
+struct StoreFragmentRep {
+  ObjectVersionId ov;
+  uint16_t frag_index = 0;
+  Status status = Status::kSuccess;
+
+  static constexpr MessageType kType = MessageType::kStoreFragmentRep;
+  Bytes encode() const;
+  static StoreFragmentRep decode(const Bytes& payload);
+};
+
+struct AmrIndication {
+  ObjectVersionId ov;
+
+  static constexpr MessageType kType = MessageType::kAmrIndication;
+  Bytes encode() const;
+  static AmrIndication decode(const Bytes& payload);
+};
+
+// --- Get path ---------------------------------------------------------------
+
+struct RetrieveTsReq {
+  Key key;
+  /// Paging (§3.5: the proxy iteratively retrieves timestamps instead of
+  /// all versions at once). Only versions strictly older than `before_ts`
+  /// are returned (no bound when invalid), newest first, at most
+  /// `max_entries` of them (0 = unlimited).
+  Timestamp before_ts;
+  uint16_t max_entries = 0;
+
+  static constexpr MessageType kType = MessageType::kRetrieveTsReq;
+  Bytes encode() const;
+  static RetrieveTsReq decode(const Bytes& payload);
+};
+
+struct RetrieveTsRep {
+  Key key;
+  struct Entry {
+    Timestamp ts;
+    Metadata meta;
+    friend bool operator==(const Entry&, const Entry&) = default;
+  };
+  /// Newest-first (descending timestamp).
+  std::vector<Entry> entries;
+  /// True iff older versions beyond this page exist.
+  bool more = false;
+
+  static constexpr MessageType kType = MessageType::kRetrieveTsRep;
+  Bytes encode() const;
+  static RetrieveTsRep decode(const Bytes& payload);
+};
+
+struct RetrieveFragReq {
+  ObjectVersionId ov;
+  uint16_t frag_index = 0;
+
+  static constexpr MessageType kType = MessageType::kRetrieveFragReq;
+  Bytes encode() const;
+  static RetrieveFragReq decode(const Bytes& payload);
+};
+
+struct RetrieveFragRep {
+  ObjectVersionId ov;
+  uint16_t frag_index = 0;
+  bool found = false;  ///< false ⇒ the paper's ⊥ fragment reply
+  Bytes fragment;
+
+  static constexpr MessageType kType = MessageType::kRetrieveFragRep;
+  Bytes encode() const;
+  static RetrieveFragRep decode(const Bytes& payload);
+};
+
+// --- Convergence ------------------------------------------------------------
+
+struct KlsConvergeReq {
+  ObjectVersionId ov;
+  Metadata meta;
+
+  static constexpr MessageType kType = MessageType::kKlsConvergeReq;
+  Bytes encode() const;
+  static KlsConvergeReq decode(const Bytes& payload);
+};
+
+struct KlsConvergeRep {
+  ObjectVersionId ov;
+  bool verified = false;
+
+  static constexpr MessageType kType = MessageType::kKlsConvergeRep;
+  Bytes encode() const;
+  static KlsConvergeRep decode(const Bytes& payload);
+};
+
+struct FsConvergeReq {
+  ObjectVersionId ov;
+  Metadata meta;
+  /// Sibling-fragment-recovery intent flag (§4.2).
+  bool intends_recovery = false;
+
+  static constexpr MessageType kType = MessageType::kFsConvergeReq;
+  Bytes encode() const;
+  static FsConvergeReq decode(const Bytes& payload);
+};
+
+struct FsConvergeRep {
+  ObjectVersionId ov;
+  bool verified = false;
+  /// Fragment indices the replying FS needs recovered (§4.2); only filled
+  /// when the request had intends_recovery set.
+  std::vector<uint16_t> needed_fragments;
+  /// Set when the replying FS is itself attempting sibling recovery, so the
+  /// requester can apply the lower-id backoff rule.
+  bool also_recovering = false;
+
+  static constexpr MessageType kType = MessageType::kFsConvergeRep;
+  Bytes encode() const;
+  static FsConvergeRep decode(const Bytes& payload);
+};
+
+struct SiblingStoreReq {
+  ObjectVersionId ov;
+  Metadata meta;
+  uint16_t frag_index = 0;
+  Bytes fragment;
+  Sha256::Digest digest{};
+
+  static constexpr MessageType kType = MessageType::kSiblingStoreReq;
+  Bytes encode() const;
+  static SiblingStoreReq decode(const Bytes& payload);
+};
+
+struct SiblingStoreRep {
+  ObjectVersionId ov;
+  uint16_t frag_index = 0;
+  Status status = Status::kSuccess;
+
+  static constexpr MessageType kType = MessageType::kSiblingStoreRep;
+  Bytes encode() const;
+  static SiblingStoreRep decode(const Bytes& payload);
+};
+
+struct KlsLocsNotify {
+  ObjectVersionId ov;
+  Metadata meta;
+
+  static constexpr MessageType kType = MessageType::kKlsLocsNotify;
+  Bytes encode() const;
+  static KlsLocsNotify decode(const Bytes& payload);
+};
+
+}  // namespace pahoehoe::wire

@@ -1,0 +1,188 @@
+#include "wire/serde.h"
+
+#include <cstring>
+
+namespace pahoehoe::wire {
+
+namespace {
+constexpr size_t kMaxLengthPrefix = 1u << 30;  // 1 GiB sanity bound
+}
+
+void Writer::u8(uint8_t v) { out_.push_back(v); }
+
+void Writer::u16(uint16_t v) {
+  out_.push_back(static_cast<uint8_t>(v));
+  out_.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void Writer::u32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) out_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void Writer::u64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) out_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void Writer::i64(int64_t v) { u64(static_cast<uint64_t>(v)); }
+
+void Writer::boolean(bool v) { u8(v ? 1 : 0); }
+
+void Writer::bytes(const Bytes& v) {
+  u32(static_cast<uint32_t>(v.size()));
+  out_.insert(out_.end(), v.begin(), v.end());
+}
+
+void Writer::str(const std::string& v) {
+  u32(static_cast<uint32_t>(v.size()));
+  out_.insert(out_.end(), v.begin(), v.end());
+}
+
+const uint8_t* Reader::take(size_t count) {
+  if (pos_ + count > data_->size()) {
+    throw WireError("truncated message: need " + std::to_string(count) +
+                    " bytes at offset " + std::to_string(pos_) + " of " +
+                    std::to_string(data_->size()));
+  }
+  const uint8_t* p = data_->data() + pos_;
+  pos_ += count;
+  return p;
+}
+
+uint8_t Reader::u8() { return *take(1); }
+
+uint16_t Reader::u16() {
+  const uint8_t* p = take(2);
+  return static_cast<uint16_t>(p[0] | (p[1] << 8));
+}
+
+uint32_t Reader::u32() {
+  const uint8_t* p = take(4);
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+uint64_t Reader::u64() {
+  const uint8_t* p = take(8);
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+int64_t Reader::i64() { return static_cast<int64_t>(u64()); }
+
+bool Reader::boolean() {
+  uint8_t v = u8();
+  if (v > 1) throw WireError("invalid boolean byte");
+  return v == 1;
+}
+
+Bytes Reader::bytes() {
+  uint32_t len = u32();
+  if (len > kMaxLengthPrefix) throw WireError("length prefix too large");
+  const uint8_t* p = take(len);
+  return Bytes(p, p + len);
+}
+
+std::string Reader::str() {
+  uint32_t len = u32();
+  if (len > kMaxLengthPrefix) throw WireError("length prefix too large");
+  const uint8_t* p = take(len);
+  return std::string(reinterpret_cast<const char*>(p), len);
+}
+
+void Reader::expect_exhausted() const {
+  if (!exhausted()) throw WireError("trailing bytes after message");
+}
+
+void encode(Writer& w, const Key& key) { w.str(key.value); }
+
+void encode(Writer& w, const Timestamp& ts) {
+  w.i64(ts.wall_micros);
+  w.u32(ts.proxy);
+}
+
+void encode(Writer& w, const ObjectVersionId& ov) {
+  encode(w, ov.key);
+  encode(w, ov.ts);
+}
+
+void encode(Writer& w, const Policy& policy) {
+  w.u8(policy.k);
+  w.u8(policy.n);
+  w.u8(policy.max_frags_per_fs);
+  w.u8(policy.max_frags_per_dc);
+  w.boolean(policy.data_frags_one_dc);
+  w.u8(policy.min_frags_for_success);
+}
+
+void encode(Writer& w, const Location& loc) {
+  w.u32(loc.fs.value);
+  w.u8(loc.disk);
+}
+
+void encode(Writer& w, const std::optional<Location>& loc) {
+  w.boolean(loc.has_value());
+  if (loc.has_value()) encode(w, *loc);
+}
+
+void encode(Writer& w, const Metadata& meta) {
+  encode(w, meta.policy);
+  w.u64(meta.value_size);
+  w.u16(static_cast<uint16_t>(meta.locs.size()));
+  for (const auto& loc : meta.locs) encode(w, loc);
+}
+
+Key decode_key(Reader& r) { return Key{r.str()}; }
+
+Timestamp decode_timestamp(Reader& r) {
+  Timestamp ts;
+  ts.wall_micros = r.i64();
+  ts.proxy = r.u32();
+  return ts;
+}
+
+ObjectVersionId decode_ov(Reader& r) {
+  ObjectVersionId ov;
+  ov.key = decode_key(r);
+  ov.ts = decode_timestamp(r);
+  return ov;
+}
+
+Policy decode_policy(Reader& r) {
+  Policy p;
+  p.k = r.u8();
+  p.n = r.u8();
+  p.max_frags_per_fs = r.u8();
+  p.max_frags_per_dc = r.u8();
+  p.data_frags_one_dc = r.boolean();
+  p.min_frags_for_success = r.u8();
+  if (!p.valid()) throw WireError("invalid policy");
+  return p;
+}
+
+Location decode_location(Reader& r) {
+  Location loc;
+  loc.fs.value = r.u32();
+  loc.disk = r.u8();
+  return loc;
+}
+
+std::optional<Location> decode_opt_location(Reader& r) {
+  if (!r.boolean()) return std::nullopt;
+  return decode_location(r);
+}
+
+Metadata decode_metadata(Reader& r) {
+  Metadata meta;
+  meta.policy = decode_policy(r);
+  meta.value_size = r.u64();
+  const uint16_t count = r.u16();  // u16: bounded even if corrupted
+  meta.locs.reserve(count);
+  for (uint16_t i = 0; i < count; ++i) {
+    meta.locs.push_back(decode_opt_location(r));
+  }
+  return meta;
+}
+
+}  // namespace pahoehoe::wire

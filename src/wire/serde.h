@@ -1,0 +1,84 @@
+// Binary serialization primitives.
+//
+// All protocol messages are actually serialized to bytes before they enter
+// the simulated network; the byte counts the evaluation reports are the
+// sizes produced here. Encoding is little-endian with fixed-width integers
+// and u32 length prefixes for variable-size fields.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "common/types.h"
+
+namespace pahoehoe::wire {
+
+/// Thrown by Reader on truncated or malformed input.
+class WireError : public std::runtime_error {
+ public:
+  explicit WireError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Writer {
+ public:
+  void u8(uint8_t v);
+  void u16(uint16_t v);
+  void u32(uint32_t v);
+  void u64(uint64_t v);
+  void i64(int64_t v);
+  void boolean(bool v);
+  void bytes(const Bytes& v);        // u32 length prefix + raw bytes
+  void str(const std::string& v);    // u32 length prefix + raw bytes
+
+  const Bytes& data() const& { return out_; }
+  Bytes take() && { return std::move(out_); }
+
+ private:
+  Bytes out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const Bytes& data) : data_(&data) {}
+
+  uint8_t u8();
+  uint16_t u16();
+  uint32_t u32();
+  uint64_t u64();
+  int64_t i64();
+  bool boolean();
+  Bytes bytes();
+  std::string str();
+
+  /// True iff every byte has been consumed.
+  bool exhausted() const { return pos_ == data_->size(); }
+  /// Throws WireError unless exhausted (call after decoding a message).
+  void expect_exhausted() const;
+
+ private:
+  const uint8_t* take(size_t count);
+
+  const Bytes* data_;
+  size_t pos_ = 0;
+};
+
+// Domain-type codecs, shared by every message.
+void encode(Writer& w, const Key& key);
+void encode(Writer& w, const Timestamp& ts);
+void encode(Writer& w, const ObjectVersionId& ov);
+void encode(Writer& w, const Policy& policy);
+void encode(Writer& w, const Location& loc);
+void encode(Writer& w, const std::optional<Location>& loc);
+void encode(Writer& w, const Metadata& meta);
+
+Key decode_key(Reader& r);
+Timestamp decode_timestamp(Reader& r);
+ObjectVersionId decode_ov(Reader& r);
+Policy decode_policy(Reader& r);
+Location decode_location(Reader& r);
+std::optional<Location> decode_opt_location(Reader& r);
+Metadata decode_metadata(Reader& r);
+
+}  // namespace pahoehoe::wire

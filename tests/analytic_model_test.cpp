@@ -1,0 +1,137 @@
+// Closed-form message-count model for failure-free executions, asserted
+// against the simulation. These are the arithmetic identities behind
+// Figure 5; pinning them makes any protocol change that silently alters
+// the figure's shape fail a test instead.
+//
+// Per put, with 2 DCs, 4 KLSs, 6 FSs, (k=4, n=12), ≤2 fragments/FS:
+//   put phase (both latency optimizations):
+//     DecideLocsReq/Rep:      4 + 4
+//     StoreMetadataReq/Rep:   2·4 + 2·4      (one wave per data center)
+//     StoreFragmentReq/Rep:   (6+12) + (6+12) (wave 1: DC0's 6; wave 2: all)
+//   convergence:
+//     naive:   each FS verifies: 6·(4 KLS + 5 FS) requests + replies
+//     FSAMR-U: one FS verifies, then 5 indications
+//     FSAMR-S: all six verify simultaneously + 6·5 indications
+//     PutAMR:  6 proxy indications, no convergence at all
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace pahoehoe {
+namespace {
+
+using core::ConvergenceOptions;
+using testing::SimCluster;
+using wire::MessageType;
+
+constexpr uint64_t kPutMessages = (4 + 4) +            // decide locs
+                                  (8 + 8) +            // metadata stores
+                                  (18 + 18);           // fragment stores
+
+uint64_t total_sent(const SimCluster& tc) {
+  return tc.net.stats().total_sent_count();
+}
+
+struct ModelCase {
+  const char* name;
+  ConvergenceOptions conv;
+  uint64_t expected_per_put;
+  bool exact;  // unsynchronized rounds make suppression slightly racy
+};
+
+class AnalyticModelTest : public ::testing::TestWithParam<ModelCase> {};
+
+TEST_P(AnalyticModelTest, FailureFreeMessageCountMatchesClosedForm) {
+  const ModelCase& c = GetParam();
+  const int puts = 10;
+  SimCluster tc(c.conv, {}, 77);
+  for (int i = 0; i < puts; ++i) {
+    tc.put(Key{"m-" + std::to_string(i)},
+           tc.make_value(1024, static_cast<uint8_t>(i + 1)));
+  }
+  tc.run_to_quiescence();
+  const uint64_t expected = c.expected_per_put * puts;
+  if (c.exact) {
+    EXPECT_EQ(total_sent(tc), expected) << c.name;
+  } else {
+    // Unsynchronized starts occasionally let two FSs race a verification;
+    // allow one extra full step per put in the upper bound.
+    EXPECT_GE(total_sent(tc), expected) << c.name;
+    EXPECT_LE(total_sent(tc), expected + puts * 23u) << c.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Models, AnalyticModelTest,
+    ::testing::Values(
+        // Naive: put + 6 independent full verifications (6·18 req+rep).
+        ModelCase{"naive", ConvergenceOptions::naive(),
+                  kPutMessages + 6 * (2 * 4 + 2 * 5), true},
+        // FSAMR-S: naive + 6·5 indications (synchronized start wastes the
+        // suppression, §5.2's +13% effect).
+        ModelCase{"fsamr_sync", ConvergenceOptions::fs_amr_sync(),
+                  kPutMessages + 6 * (2 * 4 + 2 * 5) + 6 * 5, true},
+        // FSAMR-U: one verification + 5 indications (the −57% effect).
+        ModelCase{"fsamr_unsync", ConvergenceOptions::fs_amr_unsync(),
+                  kPutMessages + (2 * 4 + 2 * 5) + 5, false},
+        // PutAMR: put + 6 proxy indications, zero convergence (−68%).
+        ModelCase{"putamr", ConvergenceOptions::put_amr(),
+                  kPutMessages + 6, true},
+        // All: identical to PutAMR when nothing fails (the paper's
+        // "0-All is the same as PutAMR" observation).
+        ModelCase{"all", ConvergenceOptions::all_opts(), kPutMessages + 6,
+                  true}),
+    [](const ::testing::TestParamInfo<ModelCase>& info) {
+      return info.param.name;
+    });
+
+TEST(AnalyticModelTest, PutPhaseBreakdownExact) {
+  SimCluster tc(ConvergenceOptions::put_amr());
+  tc.put(Key{"k"}, tc.make_value(1024));
+  tc.run_to_quiescence();
+  const auto& stats = tc.net.stats();
+  EXPECT_EQ(stats.of(MessageType::kDecideLocsReq).sent_count, 4u);
+  EXPECT_EQ(stats.of(MessageType::kDecideLocsRep).sent_count, 4u);
+  EXPECT_EQ(stats.of(MessageType::kStoreMetadataReq).sent_count, 8u);
+  EXPECT_EQ(stats.of(MessageType::kStoreMetadataRep).sent_count, 8u);
+  EXPECT_EQ(stats.of(MessageType::kStoreFragmentReq).sent_count, 18u);
+  EXPECT_EQ(stats.of(MessageType::kStoreFragmentRep).sent_count, 18u);
+  EXPECT_EQ(stats.of(MessageType::kAmrIndication).sent_count, 6u);
+  EXPECT_EQ(total_sent(tc), kPutMessages + 6);
+}
+
+TEST(AnalyticModelTest, FragmentBytesDominatePutTraffic) {
+  // 18 fragment stores of ~25 KiB each ≈ 450 KiB; everything else is
+  // metadata-sized. The byte split must reflect that.
+  SimCluster tc(ConvergenceOptions::put_amr());
+  tc.put(Key{"k"}, tc.make_value(100 * 1024));
+  tc.run_to_quiescence();
+  const auto& stats = tc.net.stats();
+  const uint64_t frag_bytes =
+      stats.of(MessageType::kStoreFragmentReq).sent_bytes;
+  EXPECT_GT(frag_bytes, 18u * 25600u);
+  EXPECT_GT(frag_bytes * 100, stats.total_sent_bytes() * 95)
+      << "fragment stores must be >95% of failure-free put bytes";
+}
+
+TEST(AnalyticModelTest, StorageOverheadMatchesTripleReplication) {
+  // The paper's premise: (k=4, n=12) costs 3× storage, like 3-way
+  // replication, with better fault tolerance. Verify 3× exactly.
+  SimCluster tc(ConvergenceOptions::all_opts());
+  const size_t value_size = 100 * 1024;
+  const auto r = tc.put(Key{"k"}, tc.make_value(value_size));
+  tc.run_to_quiescence();
+  size_t stored = 0;
+  for (int i = 0; i < tc.cluster.num_fs(); ++i) {
+    const auto* entry = tc.cluster.fs(i).frag_store().find(r.ov);
+    if (entry == nullptr) continue;
+    for (const auto& [slot, frag] : entry->fragments) {
+      (void)slot;
+      stored += frag.data.size();
+    }
+  }
+  EXPECT_EQ(stored, 3 * value_size);
+}
+
+}  // namespace
+}  // namespace pahoehoe

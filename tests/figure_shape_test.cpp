@@ -1,0 +1,170 @@
+// Figure-shape regression tests: scaled-down versions of the paper's
+// evaluation sweeps with the qualitative claims of §5 asserted as
+// inequalities. A protocol change that silently flips who-wins in any
+// figure fails here long before anyone reruns the full benches.
+#include <gtest/gtest.h>
+
+#include "core/harness.h"
+
+namespace pahoehoe::core {
+namespace {
+
+RunConfig mini_config(ConvergenceOptions conv, int puts = 20) {
+  RunConfig config = paper_default_config();
+  config.convergence = conv;
+  config.workload.num_puts = puts;
+  config.workload.value_size = 16 * 1024;
+  return config;
+}
+
+double mean_msgs(RunConfig config, int seeds = 5) {
+  return run_many(std::move(config), seeds, 3100).msg_count.mean();
+}
+
+double mean_bytes(RunConfig config, int seeds = 5) {
+  return run_many(std::move(config), seeds, 3100).msg_bytes.mean();
+}
+
+std::vector<FaultSpec> fs_blackouts(int failures) {
+  std::vector<FaultSpec> faults;
+  const SimTime len = 10LL * 60 * kMicrosPerSecond;
+  for (int f = 0; f < failures; ++f) {
+    faults.push_back(FaultSpec::fs_blackout(f % 2, f / 2, 0, len));
+  }
+  return faults;
+}
+
+TEST(Figure5ShapeTest, OptimizationOrderingFailureFree) {
+  const double naive = mean_msgs(mini_config(ConvergenceOptions::naive()));
+  const double fsamr_s =
+      mean_msgs(mini_config(ConvergenceOptions::fs_amr_sync()));
+  const double fsamr_u =
+      mean_msgs(mini_config(ConvergenceOptions::fs_amr_unsync()));
+  const double putamr = mean_msgs(mini_config(ConvergenceOptions::put_amr()));
+
+  // §5.2: synchronized FS AMR indications are counterproductive; the
+  // unsynchronized variant roughly halves naive; PutAMR beats everything.
+  EXPECT_GT(fsamr_s, naive);
+  EXPECT_LT(fsamr_u, 0.65 * naive);
+  EXPECT_LT(putamr, fsamr_u);
+  // PutAMR is within 2x of the analytic idealized floor (36 msgs/put + 6
+  // indications replaced by: 60 put msgs + 6 indications = 66 vs 36).
+  EXPECT_LT(putamr, 2.0 * 36 * 20);
+}
+
+TEST(Figure6ShapeTest, MessageCountsFallAsMoreFsFail) {
+  // §5.3: fewer live FSs produce less convergence traffic.
+  auto with_failures = [&](int failures) {
+    RunConfig config = mini_config(ConvergenceOptions::all_opts());
+    config.faults = fs_blackouts(failures);
+    return mean_msgs(std::move(config), 3);
+  };
+  const double one = with_failures(1);
+  const double two = with_failures(2);
+  const double four = with_failures(4);
+  EXPECT_GT(one, two);
+  EXPECT_GT(two, four);
+}
+
+TEST(Figure6ShapeTest, AllOptimizationsBeatAnySingleOne) {
+  RunConfig base = mini_config(ConvergenceOptions::all_opts());
+  base.faults = fs_blackouts(2);
+  const double all = mean_msgs(base, 3);
+  for (const auto& conv :
+       {ConvergenceOptions::put_amr(), ConvergenceOptions::fs_amr_unsync(),
+        ConvergenceOptions::sibling_only()}) {
+    RunConfig config = mini_config(conv);
+    config.faults = fs_blackouts(2);
+    EXPECT_GT(mean_msgs(std::move(config), 3), all) << describe(conv);
+  }
+}
+
+TEST(Figure7ShapeTest, SiblingRecoveryCutsRepairBytes) {
+  // §5.3: the byte story — recovery without sibling amortization reads k
+  // fragments per needy FS; with it, once per object.
+  RunConfig without = mini_config(ConvergenceOptions::fs_amr_unsync());
+  without.faults = fs_blackouts(2);
+  RunConfig with = mini_config(ConvergenceOptions::all_opts());
+  with.faults = fs_blackouts(2);
+  const double bytes_without = mean_bytes(std::move(without), 3);
+  const double bytes_with = mean_bytes(std::move(with), 3);
+  EXPECT_LT(bytes_with, 0.85 * bytes_without);
+}
+
+TEST(Figure7ShapeTest, SingleFailureRepairCostsAboutOneThirdMore) {
+  // §5.3: "approximately one third more network capacity compared to the
+  // no-failure case" for sibling recovery with (k=4, n=12).
+  const double clean = mean_bytes(mini_config(ConvergenceOptions::all_opts()), 3);
+  RunConfig failed = mini_config(ConvergenceOptions::all_opts());
+  failed.faults = fs_blackouts(1);
+  const double repaired = mean_bytes(std::move(failed), 3);
+  EXPECT_GT(repaired, 1.1 * clean);
+  EXPECT_LT(repaired, 1.6 * clean);
+}
+
+TEST(Figure8ShapeTest, ConnectedKlsFailuresAreCheapPartitionIsNot) {
+  // Larger objects so bytes are fragment-dominated, as in the real sweep.
+  auto big = [](ConvergenceOptions conv) {
+    RunConfig config = mini_config(conv, /*puts=*/15);
+    config.workload.value_size = 64 * 1024;
+    return config;
+  };
+  const SimTime len = 10LL * 60 * kMicrosPerSecond;
+  const double clean = mean_bytes(big(ConvergenceOptions::all_opts()), 3);
+
+  // 2C: one KLS per data center — fragment bytes unchanged, only some
+  // metadata chatter added.
+  RunConfig connected = big(ConvergenceOptions::all_opts());
+  connected.faults = {FaultSpec::kls_blackout(0, 0, 0, len),
+                      FaultSpec::kls_blackout(1, 0, 0, len)};
+  EXPECT_LT(mean_bytes(std::move(connected), 3), 1.15 * clean);
+
+  // 2P without sibling recovery: all three DC-1 FSs independently pull k
+  // fragments — far more expensive than the failure-free put.
+  RunConfig partitioned = big(ConvergenceOptions::put_amr());
+  partitioned.faults = {FaultSpec::kls_blackout(1, 0, 0, len),
+                        FaultSpec::kls_blackout(1, 1, 0, len)};
+  const double bytes_2p_no_sibling = mean_bytes(std::move(partitioned), 3);
+  EXPECT_GT(bytes_2p_no_sibling, 1.3 * clean);
+
+  // With sibling recovery the rebuild is amortized; the paper's Fig 8
+  // shows the 2P "Sibling"/"All" bars back near (even slightly below) the
+  // no-failure bar, since the partition-era put ships only 6 fragments.
+  RunConfig amortized = big(ConvergenceOptions::all_opts());
+  amortized.faults = {FaultSpec::kls_blackout(1, 0, 0, len),
+                      FaultSpec::kls_blackout(1, 1, 0, len)};
+  EXPECT_LT(mean_bytes(std::move(amortized), 3), bytes_2p_no_sibling * 0.7);
+}
+
+TEST(Figure8ShapeTest, SiblingRecoverySavesWanBytesUnderPartition) {
+  const SimTime len = 10LL * 60 * kMicrosPerSecond;
+  auto wan_bytes = [&](ConvergenceOptions conv) {
+    RunConfig config = mini_config(conv);
+    config.faults = {FaultSpec::kls_blackout(1, 0, 0, len),
+                     FaultSpec::kls_blackout(1, 1, 0, len)};
+    return run_many(std::move(config), 3, 3100).wan_bytes.mean();
+  };
+  const double with = wan_bytes(ConvergenceOptions::all_opts());
+  const double without = wan_bytes(ConvergenceOptions::put_amr());
+  // One WAN read of k fragments per object instead of three.
+  EXPECT_LT(with, 0.5 * without);
+}
+
+TEST(Figure9ShapeTest, AttemptsGrowAndEventualConsistencyHolds) {
+  auto at_rate = [&](double rate) {
+    RunConfig config = mini_config(ConvergenceOptions::all_opts());
+    config.workload.retry_failed = true;
+    if (rate > 0) config.faults = {FaultSpec::uniform_loss(rate)};
+    return run_many(std::move(config), 4, 3100);
+  };
+  const auto clean = at_rate(0.0);
+  const auto lossy = at_rate(0.15);
+  EXPECT_DOUBLE_EQ(clean.puts_attempted.mean(), 20.0);
+  EXPECT_GT(lossy.puts_attempted.mean(), clean.puts_attempted.mean());
+  EXPECT_GT(lossy.excess_amr.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(clean.durable_not_amr.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(lossy.durable_not_amr.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace pahoehoe::core

@@ -1,0 +1,100 @@
+// Tests for the CLI flag parser used by benches and examples.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/flags.h"
+
+namespace pahoehoe {
+namespace {
+
+// Build argv from strings (argv[0] is the program name).
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : storage_(std::move(args)) {
+    storage_.insert(storage_.begin(), "prog");
+    for (auto& s : storage_) pointers_.push_back(s.data());
+  }
+  int argc() const { return static_cast<int>(pointers_.size()); }
+  char** argv() { return pointers_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> pointers_;
+};
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  Argv args({});
+  Flags flags(args.argc(), args.argv());
+  EXPECT_EQ(flags.get_int("seeds", 20), 20);
+  EXPECT_DOUBLE_EQ(flags.get_double("rate", 0.5), 0.5);
+  EXPECT_EQ(flags.get_string("name", "x"), "x");
+  EXPECT_TRUE(flags.get_bool("on", true));
+  flags.finish();
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  Argv args({"--seeds=7", "--rate=0.25", "--name=hello", "--on=false"});
+  Flags flags(args.argc(), args.argv());
+  EXPECT_EQ(flags.get_int("seeds", 20), 7);
+  EXPECT_DOUBLE_EQ(flags.get_double("rate", 0.5), 0.25);
+  EXPECT_EQ(flags.get_string("name", "x"), "hello");
+  EXPECT_FALSE(flags.get_bool("on", true));
+  flags.finish();
+}
+
+TEST(FlagsTest, SpaceSeparatedSyntax) {
+  Argv args({"--seeds", "9", "--name", "abc"});
+  Flags flags(args.argc(), args.argv());
+  EXPECT_EQ(flags.get_int("seeds", 20), 9);
+  EXPECT_EQ(flags.get_string("name", "x"), "abc");
+  flags.finish();
+}
+
+TEST(FlagsTest, BareBooleanFlag) {
+  Argv args({"--verbose"});
+  Flags flags(args.argc(), args.argv());
+  EXPECT_TRUE(flags.get_bool("verbose", false));
+  flags.finish();
+}
+
+TEST(FlagsTest, NegativeNumbers) {
+  Argv args({"--offset=-42"});
+  Flags flags(args.argc(), args.argv());
+  EXPECT_EQ(flags.get_int("offset", 0), -42);
+  flags.finish();
+}
+
+TEST(FlagsTest, UnknownFlagExits) {
+  Argv args({"--tpyo=1"});
+  EXPECT_DEATH(
+      {
+        Flags flags(args.argc(), args.argv());
+        flags.get_int("typo", 0);
+        flags.finish();
+      },
+      "unknown flag");
+}
+
+TEST(FlagsTest, MalformedIntegerExits) {
+  Argv args({"--seeds=abc"});
+  EXPECT_DEATH(
+      {
+        Flags flags(args.argc(), args.argv());
+        flags.get_int("seeds", 20);
+      },
+      "expects an integer");
+}
+
+TEST(FlagsTest, MalformedBooleanExits) {
+  Argv args({"--on=maybe"});
+  EXPECT_DEATH(
+      {
+        Flags flags(args.argc(), args.argv());
+        flags.get_bool("on", true);
+      },
+      "expects a boolean");
+}
+
+}  // namespace
+}  // namespace pahoehoe

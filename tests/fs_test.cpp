@@ -1,0 +1,393 @@
+// Unit tests for the Fragment Server, driving it with hand-crafted messages
+// through a probe node (no proxy involved).
+#include <gtest/gtest.h>
+
+#include "common/sha256.h"
+#include "erasure/reed_solomon.h"
+#include "test_util.h"
+
+namespace pahoehoe {
+namespace {
+
+using testing::SimCluster;
+using testing::minutes;
+using testing::seconds;
+using wire::MessageType;
+
+class Probe : public net::MessageHandler {
+ public:
+  void handle(const wire::Envelope& env) override { received.push_back(env); }
+
+  template <typename M>
+  std::vector<M> decode_all(MessageType type) const {
+    std::vector<M> out;
+    for (const auto& env : received) {
+      if (env.type == type) out.push_back(M::decode(env.payload));
+    }
+    return out;
+  }
+
+  std::vector<wire::Envelope> received;
+};
+
+class FsTest : public ::testing::Test {
+ protected:
+  explicit FsTest(core::ConvergenceOptions conv =
+                      core::ConvergenceOptions::naive())
+      : tc(conv) {
+    probe_id = NodeId{9999};
+    tc.net.register_node(probe_id, &probe);
+    fs = &tc.cluster.fs(0, 0);
+    codec = std::make_unique<erasure::ReedSolomon>(4, 12);
+  }
+
+  /// Complete metadata placing fragment i on cluster FS (i % 6), disks
+  /// alternating — our test FS (0,0) owns fragments 0 and 6.
+  Metadata complete_meta(uint64_t value_size) {
+    Metadata meta{Policy{}, value_size};
+    for (size_t i = 0; i < meta.locs.size(); ++i) {
+      meta.locs[i] = Location{tc.cluster.fs(static_cast<int>(i % 6)).id(),
+                              static_cast<uint8_t>(i / 6)};
+    }
+    return meta;
+  }
+
+  ObjectVersionId ov(const std::string& key, SimTime t = 100) {
+    return ObjectVersionId{Key{key}, Timestamp{t, 1}};
+  }
+
+  void deliver(NodeId to, MessageType type, Bytes payload) {
+    tc.net.send(probe_id, to, type, std::move(payload));
+    tc.run_for(seconds(1));
+  }
+
+  wire::StoreFragmentReq store_req(const ObjectVersionId& version,
+                                   const Metadata& meta, int index,
+                                   const std::vector<Bytes>& frags) {
+    wire::StoreFragmentReq req;
+    req.ov = version;
+    req.meta = meta;
+    req.frag_index = static_cast<uint16_t>(index);
+    req.fragment = frags[static_cast<size_t>(index)];
+    req.digest = Sha256::hash(req.fragment);
+    return req;
+  }
+
+  SimCluster tc;
+  NodeId probe_id;
+  Probe probe;
+  core::FragmentServer* fs = nullptr;
+  std::unique_ptr<erasure::ReedSolomon> codec;
+};
+
+TEST_F(FsTest, StoreFragmentPersistsAndAcks) {
+  const Bytes value = tc.make_value(4096);
+  const auto frags = codec->encode(value);
+  const Metadata meta = complete_meta(value.size());
+  deliver(fs->id(), MessageType::kStoreFragmentReq,
+          store_req(ov("k"), meta, 0, frags).encode());
+  auto reps =
+      probe.decode_all<wire::StoreFragmentRep>(MessageType::kStoreFragmentRep);
+  ASSERT_EQ(reps.size(), 1u);
+  EXPECT_EQ(reps[0].status, wire::Status::kSuccess);
+  EXPECT_EQ(reps[0].frag_index, 0);
+  EXPECT_NE(fs->frag_store().fragment_if_intact(ov("k"), 0), nullptr);
+  // The version entered the convergence work-list (Fig 2 fs lines 3–5).
+  EXPECT_TRUE(fs->meta_store().contains(ov("k")));
+}
+
+TEST_F(FsTest, StoreFragmentRejectsBadDigest) {
+  const Bytes value = tc.make_value(4096);
+  const auto frags = codec->encode(value);
+  auto req = store_req(ov("k"), complete_meta(value.size()), 0, frags);
+  req.digest[0] ^= 0xff;  // corrupted in transit
+  deliver(fs->id(), MessageType::kStoreFragmentReq, req.encode());
+  auto reps =
+      probe.decode_all<wire::StoreFragmentRep>(MessageType::kStoreFragmentRep);
+  ASSERT_EQ(reps.size(), 1u);
+  EXPECT_EQ(reps[0].status, wire::Status::kFailure);
+  EXPECT_EQ(fs->frag_store().fragment_if_intact(ov("k"), 0), nullptr);
+}
+
+TEST_F(FsTest, RetrieveMissingFragmentRepliesBottom) {
+  deliver(fs->id(), MessageType::kRetrieveFragReq,
+          wire::RetrieveFragReq{ov("k"), 0}.encode());
+  auto reps =
+      probe.decode_all<wire::RetrieveFragRep>(MessageType::kRetrieveFragRep);
+  ASSERT_EQ(reps.size(), 1u);
+  EXPECT_FALSE(reps[0].found);
+  EXPECT_TRUE(reps[0].fragment.empty());
+}
+
+TEST_F(FsTest, RetrieveStoredFragmentRoundTrips) {
+  const Bytes value = tc.make_value(4096);
+  const auto frags = codec->encode(value);
+  deliver(fs->id(), MessageType::kStoreFragmentReq,
+          store_req(ov("k"), complete_meta(value.size()), 0, frags).encode());
+  deliver(fs->id(), MessageType::kRetrieveFragReq,
+          wire::RetrieveFragReq{ov("k"), 0}.encode());
+  auto reps =
+      probe.decode_all<wire::RetrieveFragRep>(MessageType::kRetrieveFragRep);
+  ASSERT_EQ(reps.size(), 1u);
+  EXPECT_TRUE(reps[0].found);
+  EXPECT_EQ(reps[0].fragment, frags[0]);
+}
+
+TEST_F(FsTest, CorruptFragmentReadsAsBottom) {
+  const Bytes value = tc.make_value(4096);
+  const auto frags = codec->encode(value);
+  deliver(fs->id(), MessageType::kStoreFragmentReq,
+          store_req(ov("k"), complete_meta(value.size()), 0, frags).encode());
+  ASSERT_TRUE(fs->corrupt_fragment(ov("k"), 0));
+  deliver(fs->id(), MessageType::kRetrieveFragReq,
+          wire::RetrieveFragReq{ov("k"), 0}.encode());
+  auto reps =
+      probe.decode_all<wire::RetrieveFragRep>(MessageType::kRetrieveFragRep);
+  ASSERT_EQ(reps.size(), 1u);
+  EXPECT_FALSE(reps[0].found);
+}
+
+TEST_F(FsTest, ConvergeRequestForUnknownVersionCreatesWork) {
+  // Fig 4 line 17: a converge request for a version the FS never saw
+  // creates metadata + a ⊥ fragment entry, entering convergence.
+  const Metadata meta = complete_meta(4096);
+  deliver(fs->id(), MessageType::kFsConvergeReq,
+          wire::FsConvergeReq{ov("k"), meta, false}.encode());
+  EXPECT_TRUE(fs->meta_store().contains(ov("k")));
+  EXPECT_TRUE(fs->frag_store().contains(ov("k")));
+  auto reps =
+      probe.decode_all<wire::FsConvergeRep>(MessageType::kFsConvergeRep);
+  ASSERT_EQ(reps.size(), 1u);
+  EXPECT_FALSE(reps[0].verified);  // fragments are ⊥
+}
+
+TEST_F(FsTest, ConvergeReplyVerifiedWhenLocalStateComplete) {
+  const Bytes value = tc.make_value(4096);
+  const auto frags = codec->encode(value);
+  const Metadata meta = complete_meta(value.size());
+  // Store both fragments this FS is responsible for (slots 0 and 6).
+  for (int slot : meta.fragments_for(fs->id())) {
+    deliver(fs->id(), MessageType::kStoreFragmentReq,
+            store_req(ov("k"), meta, slot, frags).encode());
+  }
+  deliver(fs->id(), MessageType::kFsConvergeReq,
+          wire::FsConvergeReq{ov("k"), meta, false}.encode());
+  auto reps =
+      probe.decode_all<wire::FsConvergeRep>(MessageType::kFsConvergeRep);
+  ASSERT_EQ(reps.size(), 1u);
+  EXPECT_TRUE(reps[0].verified);
+}
+
+TEST_F(FsTest, ConvergeWithRecoveryIntentReportsNeededFragments) {
+  const Bytes value = tc.make_value(4096);
+  const auto frags = codec->encode(value);
+  const Metadata meta = complete_meta(value.size());
+  // Only slot 0 stored; slot 6 (also ours) missing.
+  deliver(fs->id(), MessageType::kStoreFragmentReq,
+          store_req(ov("k"), meta, 0, frags).encode());
+  deliver(fs->id(), MessageType::kFsConvergeReq,
+          wire::FsConvergeReq{ov("k"), meta, /*intends_recovery=*/true}
+              .encode());
+  auto reps =
+      probe.decode_all<wire::FsConvergeRep>(MessageType::kFsConvergeRep);
+  ASSERT_EQ(reps.size(), 1u);
+  EXPECT_FALSE(reps[0].verified);
+  EXPECT_EQ(reps[0].needed_fragments, (std::vector<uint16_t>{6}));
+}
+
+TEST_F(FsTest, ConvergeWithoutRecoveryIntentOmitsNeeds) {
+  const Metadata meta = complete_meta(4096);
+  deliver(fs->id(), MessageType::kFsConvergeReq,
+          wire::FsConvergeReq{ov("k"), meta, false}.encode());
+  auto reps =
+      probe.decode_all<wire::FsConvergeRep>(MessageType::kFsConvergeRep);
+  ASSERT_EQ(reps.size(), 1u);
+  EXPECT_TRUE(reps[0].needed_fragments.empty());
+}
+
+TEST_F(FsTest, AmrIndicationClearsWorkButKeepsFragments) {
+  const Bytes value = tc.make_value(4096);
+  const auto frags = codec->encode(value);
+  const Metadata meta = complete_meta(value.size());
+  deliver(fs->id(), MessageType::kStoreFragmentReq,
+          store_req(ov("k"), meta, 0, frags).encode());
+  ASSERT_EQ(fs->pending_versions(), 1u);
+  deliver(fs->id(), MessageType::kAmrIndication,
+          wire::AmrIndication{ov("k")}.encode());
+  EXPECT_EQ(fs->pending_versions(), 0u);
+  EXPECT_NE(fs->frag_store().fragment_if_intact(ov("k"), 0), nullptr);
+}
+
+TEST_F(FsTest, ConvergeAfterAmrDoesNotResurrect) {
+  const Bytes value = tc.make_value(4096);
+  const auto frags = codec->encode(value);
+  const Metadata meta = complete_meta(value.size());
+  deliver(fs->id(), MessageType::kStoreFragmentReq,
+          store_req(ov("k"), meta, 0, frags).encode());
+  deliver(fs->id(), MessageType::kAmrIndication,
+          wire::AmrIndication{ov("k")}.encode());
+  deliver(fs->id(), MessageType::kFsConvergeReq,
+          wire::FsConvergeReq{ov("k"), meta, false}.encode());
+  EXPECT_EQ(fs->pending_versions(), 0u);
+  // It still answers the converge request truthfully.
+  auto reps =
+      probe.decode_all<wire::FsConvergeRep>(MessageType::kFsConvergeRep);
+  ASSERT_EQ(reps.size(), 1u);
+}
+
+TEST_F(FsTest, AmrIndicationForUnknownVersionIsHarmless) {
+  deliver(fs->id(), MessageType::kAmrIndication,
+          wire::AmrIndication{ov("never-seen")}.encode());
+  EXPECT_EQ(fs->pending_versions(), 0u);
+}
+
+TEST_F(FsTest, SiblingStorePersistsFragment) {
+  const Bytes value = tc.make_value(4096);
+  const auto frags = codec->encode(value);
+  const Metadata meta = complete_meta(value.size());
+  wire::SiblingStoreReq req;
+  req.ov = ov("k");
+  req.meta = meta;
+  req.frag_index = 6;
+  req.fragment = frags[6];
+  req.digest = Sha256::hash(frags[6]);
+  deliver(fs->id(), MessageType::kSiblingStoreReq, req.encode());
+  auto reps =
+      probe.decode_all<wire::SiblingStoreRep>(MessageType::kSiblingStoreRep);
+  ASSERT_EQ(reps.size(), 1u);
+  EXPECT_EQ(reps[0].status, wire::Status::kSuccess);
+  EXPECT_NE(fs->frag_store().fragment_if_intact(ov("k"), 6), nullptr);
+}
+
+TEST_F(FsTest, KlsLocsNotifyCreatesWork) {
+  deliver(fs->id(), MessageType::kKlsLocsNotify,
+          wire::KlsLocsNotify{ov("k"), complete_meta(4096)}.encode());
+  EXPECT_TRUE(fs->meta_store().contains(ov("k")));
+  EXPECT_EQ(fs->pending_versions(), 1u);
+}
+
+TEST_F(FsTest, CrashedFsDropsRequestsSilently) {
+  fs->crash();
+  deliver(fs->id(), MessageType::kRetrieveFragReq,
+          wire::RetrieveFragReq{ov("k"), 0}.encode());
+  EXPECT_TRUE(probe.received.empty());
+}
+
+TEST_F(FsTest, FragmentsSurviveCrashRecover) {
+  const Bytes value = tc.make_value(4096);
+  const auto frags = codec->encode(value);
+  deliver(fs->id(), MessageType::kStoreFragmentReq,
+          store_req(ov("k"), complete_meta(value.size()), 0, frags).encode());
+  fs->crash();
+  fs->recover();
+  deliver(fs->id(), MessageType::kRetrieveFragReq,
+          wire::RetrieveFragReq{ov("k"), 0}.encode());
+  auto reps =
+      probe.decode_all<wire::RetrieveFragRep>(MessageType::kRetrieveFragRep);
+  ASSERT_EQ(reps.size(), 1u);
+  EXPECT_TRUE(reps[0].found);
+  // The convergence work-list is persistent too (§3.1).
+  EXPECT_EQ(fs->pending_versions(), 1u);
+}
+
+// --- sibling-recovery backoff rule (§4.2), synchronized rounds -----------------
+
+class FsBackoffTest : public FsTest {
+ protected:
+  FsBackoffTest() : FsTest([] {
+      core::ConvergenceOptions conv;
+      conv.sibling_recovery = true;
+      conv.unsync_rounds = false;
+      return conv;
+    }()) {}
+};
+
+// Set up so the test FS is missing exactly one of its fragments while all
+// sibling fragments exist; its synchronized round at t=60 s starts sibling
+// recovery, and the recovery's reply-accumulation window (200 ms) gives a
+// deterministic moment to deliver a competing recovery intent.
+class FsBackoffScenario : public FsBackoffTest {
+ protected:
+  void prime() {
+    const Bytes value = tc.make_value(4096);
+    const auto frags = codec->encode(value);
+    meta = complete_meta(value.size());
+    for (size_t slot = 0; slot < meta.locs.size(); ++slot) {
+      if (slot == 6) continue;  // the test FS's second fragment is missing
+      tc.net.send(probe_id, meta.locs[slot]->fs,
+                  MessageType::kStoreFragmentReq,
+                  store_req(ov("k"), meta, static_cast<int>(slot), frags)
+                      .encode());
+    }
+    // Run into the recovery's accumulation window after the 60 s round.
+    tc.sim.run(60 * kMicrosPerSecond + 30 * kMicrosPerMilli);
+  }
+
+  Metadata meta;
+};
+
+TEST_F(FsBackoffScenario, LowerIdStandsDownOnRecoveryIntent) {
+  prime();
+  const uint64_t backoffs_before = fs->recovery_backoffs();
+  const NodeId higher{fs->id().value + 1000};
+  tc.net.register_node(higher, &probe);
+  net::send_message(tc.net, higher, fs->id(),
+                    wire::FsConvergeReq{ov("k"), meta, true});
+  tc.run_for(seconds(2));
+  EXPECT_GT(fs->recovery_backoffs(), backoffs_before)
+      << "a competing intent from a higher id must cancel our recovery";
+}
+
+TEST_F(FsBackoffScenario, DoesNotStandDownForLowerId) {
+  prime();
+  const uint64_t backoffs_before = fs->recovery_backoffs();
+  const uint64_t completed_before = fs->recoveries_completed();
+  const NodeId lower{50};  // below the cluster's id range (starts at 101)
+  ASSERT_LT(lower.value, fs->id().value);
+  tc.net.register_node(lower, &probe);
+  net::send_message(tc.net, lower, fs->id(),
+                    wire::FsConvergeReq{ov("k"), meta, true});
+  tc.run_for(seconds(30));
+  EXPECT_EQ(fs->recovery_backoffs(), backoffs_before);
+  EXPECT_GT(fs->recoveries_completed(), completed_before)
+      << "our recovery must proceed despite the lower-id intent";
+}
+
+// --- periodic scrub -------------------------------------------------------------
+
+TEST(FsScrubTest, PeriodicScrubRepairsCorruption) {
+  core::ConvergenceOptions conv = core::ConvergenceOptions::all_opts();
+  conv.scrub_interval = testing::minutes(5);
+  SimCluster tc(conv);
+  const Bytes value = tc.make_value(8192);
+  const auto r = tc.put(Key{"k"}, value);
+  tc.run_for(testing::minutes(2));
+  ASSERT_EQ(tc.cluster.classify(r.ov), core::VersionStatus::kAmr);
+
+  // Corrupt one fragment; no manual scrub — the periodic one must find it.
+  const Metadata* meta = tc.cluster.kls(0).meta_store().find(r.ov);
+  ASSERT_NE(meta, nullptr);
+  core::FragmentServer* victim = nullptr;
+  for (int i = 0; i < tc.cluster.num_fs(); ++i) {
+    if (tc.cluster.fs(i).id() == meta->locs[0]->fs) victim = &tc.cluster.fs(i);
+  }
+  ASSERT_TRUE(victim->corrupt_fragment(r.ov, 0));
+  ASSERT_EQ(tc.cluster.classify(r.ov), core::VersionStatus::kDurableNotAmr);
+
+  tc.run_for(testing::minutes(30));
+  EXPECT_EQ(tc.cluster.classify(r.ov), core::VersionStatus::kAmr);
+  EXPECT_GT(victim->scrubs_run(), 0u);
+}
+
+TEST(FsScrubTest, ScrubWithNothingDamagedAddsNoWork) {
+  core::ConvergenceOptions conv = core::ConvergenceOptions::all_opts();
+  conv.scrub_interval = testing::minutes(5);
+  SimCluster tc(conv);
+  const auto r = tc.put(Key{"k"}, tc.make_value(1024));
+  tc.run_for(testing::minutes(60));
+  EXPECT_EQ(tc.cluster.classify(r.ov), core::VersionStatus::kAmr);
+  EXPECT_EQ(tc.cluster.total_pending_versions(), 0u);
+}
+
+}  // namespace
+}  // namespace pahoehoe

@@ -1,0 +1,137 @@
+// Experiment-harness tests: the machinery that regenerates the paper's
+// figures must itself be trustworthy.
+#include <gtest/gtest.h>
+
+#include "core/harness.h"
+
+namespace pahoehoe::core {
+namespace {
+
+RunConfig quick_config() {
+  RunConfig config = paper_default_config();
+  config.convergence = ConvergenceOptions::all_opts();
+  config.workload.num_puts = 10;
+  config.workload.value_size = 4096;
+  return config;
+}
+
+TEST(HarnessTest, FailureFreeRunAllAmr) {
+  const RunResult r = run_experiment(quick_config());
+  EXPECT_EQ(r.puts_attempted, 10);
+  EXPECT_EQ(r.puts_acked, 10);
+  EXPECT_EQ(r.versions_total, 10);
+  EXPECT_EQ(r.amr, 10);
+  EXPECT_EQ(r.excess_amr, 0);
+  EXPECT_EQ(r.non_durable, 0);
+  EXPECT_EQ(r.durable_not_amr, 0);
+  EXPECT_TRUE(r.quiescent);
+  EXPECT_GT(r.stats.total_sent_count(), 0u);
+}
+
+TEST(HarnessTest, DeterministicPerSeed) {
+  RunConfig config = quick_config();
+  config.seed = 5;
+  const RunResult a = run_experiment(config);
+  const RunResult b = run_experiment(config);
+  EXPECT_EQ(a.stats.total_sent_count(), b.stats.total_sent_count());
+  EXPECT_EQ(a.stats.total_sent_bytes(), b.stats.total_sent_bytes());
+  EXPECT_EQ(a.end_time, b.end_time);
+  EXPECT_EQ(a.events, b.events);
+}
+
+TEST(HarnessTest, SeedsProduceDifferentTraces) {
+  // Failure-free runs are seed-independent in every aggregate by design
+  // (same messages, same timers); under loss, seeds must diverge.
+  RunConfig config = quick_config();
+  config.faults.push_back(FaultSpec::uniform_loss(0.05));
+  config.seed = 5;
+  const RunResult a = run_experiment(config);
+  config.seed = 6;
+  const RunResult b = run_experiment(config);
+  EXPECT_NE(a.stats.total_sent_count(), b.stats.total_sent_count());
+}
+
+TEST(HarnessTest, FsBlackoutFaultInstalls) {
+  RunConfig config = quick_config();
+  config.faults.push_back(
+      FaultSpec::fs_blackout(0, 0, 0, 10 * 60 * kMicrosPerSecond));
+  const RunResult r = run_experiment(config);
+  EXPECT_EQ(r.amr, 10);  // convergence repaired everything
+  EXPECT_TRUE(r.quiescent);
+  // Repair traffic happened.
+  EXPECT_GT(r.stats.of(wire::MessageType::kFsConvergeReq).sent_count, 0u);
+}
+
+TEST(HarnessTest, WanPartitionKls2P) {
+  RunConfig config = quick_config();
+  const SimTime ten_min = 10 * 60 * kMicrosPerSecond;
+  config.faults.push_back(FaultSpec::kls_blackout(1, 0, 0, ten_min));
+  config.faults.push_back(FaultSpec::kls_blackout(1, 1, 0, ten_min));
+  const RunResult r = run_experiment(config);
+  EXPECT_EQ(r.amr, 10);
+  EXPECT_EQ(r.puts_acked, 0);  // only 6 fragment acks possible, < 8
+  EXPECT_EQ(r.excess_amr, 10);
+  EXPECT_GT(r.stats.wan_sent_bytes(), 0u);
+}
+
+TEST(HarnessTest, LossyRunRetriesAndConverges) {
+  RunConfig config = quick_config();
+  config.workload.retry_failed = true;
+  config.faults.push_back(FaultSpec::uniform_loss(0.08));
+  const RunResult r = run_experiment(config);
+  EXPECT_GE(r.puts_attempted, 10);
+  EXPECT_EQ(r.puts_acked, 10);  // retried to success
+  EXPECT_GE(r.versions_total, r.puts_attempted);
+  EXPECT_EQ(r.durable_not_amr, 0) << "durable versions must converge";
+  EXPECT_TRUE(r.quiescent);
+}
+
+TEST(HarnessTest, DcPartitionFault) {
+  RunConfig config = quick_config();
+  config.faults.push_back(
+      FaultSpec::dc_partition(1, 0, 10 * 60 * kMicrosPerSecond));
+  const RunResult r = run_experiment(config);
+  EXPECT_EQ(r.amr, 10);
+  EXPECT_TRUE(r.quiescent);
+}
+
+TEST(HarnessTest, RunManyAggregates) {
+  RunConfig config = quick_config();
+  config.workload.num_puts = 5;
+  const AggregateResult agg = run_many(config, 3, 100);
+  EXPECT_EQ(agg.seeds, 3);
+  EXPECT_EQ(agg.msg_count.count(), 3u);
+  EXPECT_GT(agg.msg_count.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(agg.amr.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(agg.puts_acked.mean(), 5.0);
+  // Per-type aggregation carries the same totals.
+  double sum_types = 0;
+  for (const auto& s : agg.count_by_type) sum_types += s.mean();
+  EXPECT_NEAR(sum_types, agg.msg_count.mean(), 1e-6);
+}
+
+TEST(HarnessTest, PaperDefaultConfigShape) {
+  const RunConfig config = paper_default_config();
+  EXPECT_EQ(config.topology.num_dcs, 2);
+  EXPECT_EQ(config.topology.kls_per_dc, 2);
+  EXPECT_EQ(config.topology.fs_per_dc, 3);
+  EXPECT_EQ(config.workload.num_puts, 100);
+  EXPECT_EQ(config.workload.value_size, 100u * 1024u);
+  EXPECT_EQ(config.workload.policy.k, 4);
+  EXPECT_EQ(config.workload.policy.n, 12);
+}
+
+TEST(ConvergenceOptionsTest, PresetsMatchFigureLabels) {
+  EXPECT_EQ(describe(ConvergenceOptions::naive()), "Naive");
+  EXPECT_EQ(describe(ConvergenceOptions::fs_amr_sync()), "FSAMR");
+  EXPECT_EQ(describe(ConvergenceOptions::fs_amr_unsync()), "FSAMR+Unsync");
+  EXPECT_EQ(describe(ConvergenceOptions::put_amr()), "PutAMR+Unsync");
+  EXPECT_EQ(describe(ConvergenceOptions::sibling_only()), "Sibling+Unsync");
+  EXPECT_EQ(describe(ConvergenceOptions::all_opts()),
+            "FSAMR+PutAMR+Sibling+Unsync");
+  EXPECT_FALSE(ConvergenceOptions::naive().fs_amr_indication);
+  EXPECT_TRUE(ConvergenceOptions::all_opts().sibling_recovery);
+}
+
+}  // namespace
+}  // namespace pahoehoe::core

@@ -1,0 +1,255 @@
+// Unit tests for the Key Lookup Server, driving it with hand-crafted
+// messages through the network (no proxy/FS involved).
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace pahoehoe {
+namespace {
+
+using testing::SimCluster;
+using wire::MessageType;
+
+// A scripted peer: records everything addressed to it.
+class Probe : public net::MessageHandler {
+ public:
+  void handle(const wire::Envelope& env) override { received.push_back(env); }
+
+  template <typename M>
+  std::vector<M> decode_all(MessageType type) const {
+    std::vector<M> out;
+    for (const auto& env : received) {
+      if (env.type == type) out.push_back(M::decode(env.payload));
+    }
+    return out;
+  }
+
+  std::vector<wire::Envelope> received;
+};
+
+class KlsTest : public ::testing::Test {
+ protected:
+  KlsTest() : tc(core::ConvergenceOptions::naive()) {
+    probe_id = NodeId{9999};
+    tc.net.register_node(probe_id, &probe);
+    kls = &tc.cluster.kls(0, 0);
+  }
+
+  ObjectVersionId ov(const std::string& key, SimTime t = 100) {
+    return ObjectVersionId{Key{key}, Timestamp{t, 1}};
+  }
+
+  void deliver_and_run(MessageType type, Bytes payload) {
+    tc.net.send(probe_id, kls->id(), type, std::move(payload));
+    // Bounded horizon: enough for request + reply + notifications, short of
+    // any convergence round the side effects may have scheduled on FSs.
+    tc.run_for(testing::seconds(5));
+  }
+
+  SimCluster tc;
+  NodeId probe_id;
+  Probe probe;
+  core::KeyLookupServer* kls = nullptr;
+};
+
+TEST_F(KlsTest, ProxyDecideLocsSuggestsOwnDcOnly) {
+  deliver_and_run(MessageType::kDecideLocsReq,
+                  wire::DecideLocsReq{ov("k"), Policy{}, 0, false}.encode());
+  auto reps = probe.decode_all<wire::DecideLocsRep>(MessageType::kDecideLocsRep);
+  ASSERT_EQ(reps.size(), 1u);
+  EXPECT_EQ(reps[0].dc, DataCenterId{0});
+  EXPECT_EQ(reps[0].meta.decided_count(), 6);
+  for (int slot = 0; slot < 6; ++slot) {
+    ASSERT_TRUE(reps[0].meta.locs[static_cast<size_t>(slot)].has_value());
+    EXPECT_EQ(tc.cluster.view()->dc_of(
+                  reps[0].meta.locs[static_cast<size_t>(slot)]->fs),
+              DataCenterId{0});
+  }
+  // Proxy-originated requests are NOT persisted (§3.5).
+  EXPECT_FALSE(kls->meta_store().contains(ov("k")));
+  EXPECT_FALSE(kls->timestamp_store().contains(ov("k").key, ov("k").ts));
+}
+
+TEST_F(KlsTest, BothKlssOfADcSuggestIdentically) {
+  auto& other = tc.cluster.kls(0, 1);
+  tc.net.send(probe_id, kls->id(), MessageType::kDecideLocsReq,
+              wire::DecideLocsReq{ov("k"), Policy{}, 0, false}.encode());
+  tc.net.send(probe_id, other.id(), MessageType::kDecideLocsReq,
+              wire::DecideLocsReq{ov("k"), Policy{}, 0, false}.encode());
+  tc.run_to_quiescence();
+  auto reps = probe.decode_all<wire::DecideLocsRep>(MessageType::kDecideLocsRep);
+  ASSERT_EQ(reps.size(), 2u);
+  EXPECT_EQ(reps[0].meta, reps[1].meta);
+}
+
+TEST_F(KlsTest, FsDecideLocsPersistsAndNotifiesSiblings) {
+  deliver_and_run(MessageType::kFsDecideLocsReq,
+                  wire::DecideLocsReq{ov("k"), Policy{}, 4096, true}.encode());
+  // Persisted before replying (§3.5).
+  EXPECT_TRUE(kls->meta_store().contains(ov("k")));
+  EXPECT_TRUE(kls->timestamp_store().contains(ov("k").key, ov("k").ts));
+  // Sibling FSs notified of the decision (all suggested FSs except the
+  // requester — the probe is not an FS, so all of them).
+  const size_t notified =
+      tc.net.stats().of(MessageType::kKlsLocsNotify).sent_count;
+  EXPECT_EQ(notified, 3u);  // 3 distinct FSs host the 6 DC-0 slots
+}
+
+TEST_F(KlsTest, StoreMetadataPersistsBoth) {
+  Metadata meta{Policy{}, 4096};
+  meta.locs[0] = Location{tc.cluster.fs(0).id(), 0};
+  deliver_and_run(MessageType::kStoreMetadataReq,
+                  wire::StoreMetadataReq{ov("k"), meta}.encode());
+  auto reps =
+      probe.decode_all<wire::StoreMetadataRep>(MessageType::kStoreMetadataRep);
+  ASSERT_EQ(reps.size(), 1u);
+  EXPECT_EQ(reps[0].status, wire::Status::kSuccess);
+  EXPECT_TRUE(kls->timestamp_store().contains(ov("k").key, ov("k").ts));
+  const Metadata* stored = kls->meta_store().find(ov("k"));
+  ASSERT_NE(stored, nullptr);
+  EXPECT_EQ(stored->value_size, 4096u);
+}
+
+TEST_F(KlsTest, StoreMetadataMergesAcrossRequests) {
+  Metadata first{Policy{}};
+  first.locs[0] = Location{tc.cluster.fs(0).id(), 0};
+  Metadata second{Policy{}};
+  second.locs[1] = Location{tc.cluster.fs(1).id(), 0};
+  deliver_and_run(MessageType::kStoreMetadataReq,
+                  wire::StoreMetadataReq{ov("k"), first}.encode());
+  deliver_and_run(MessageType::kStoreMetadataReq,
+                  wire::StoreMetadataReq{ov("k"), second}.encode());
+  EXPECT_EQ(kls->meta_store().find(ov("k"))->decided_count(), 2);
+}
+
+TEST_F(KlsTest, RetrieveTsReturnsAllVersionsWithMetadata) {
+  for (SimTime t : {100, 300, 200}) {
+    deliver_and_run(
+        MessageType::kStoreMetadataReq,
+        wire::StoreMetadataReq{ov("k", t), Metadata{Policy{}}}.encode());
+  }
+  deliver_and_run(MessageType::kRetrieveTsReq,
+                  wire::RetrieveTsReq{Key{"k"}, {}, 0}.encode());
+  auto reps =
+      probe.decode_all<wire::RetrieveTsRep>(MessageType::kRetrieveTsRep);
+  ASSERT_EQ(reps.size(), 1u);
+  ASSERT_EQ(reps[0].entries.size(), 3u);
+  // Newest first (store order irrelevant), single unbounded page.
+  EXPECT_EQ(reps[0].entries[0].ts.wall_micros, 300);
+  EXPECT_EQ(reps[0].entries[2].ts.wall_micros, 100);
+  EXPECT_FALSE(reps[0].more);
+}
+
+TEST_F(KlsTest, RetrieveTsPagesNewestFirst) {
+  for (SimTime t : {100, 200, 300, 400, 500}) {
+    deliver_and_run(
+        MessageType::kStoreMetadataReq,
+        wire::StoreMetadataReq{ov("k", t), Metadata{Policy{}}}.encode());
+  }
+  // Page 1: the two newest.
+  deliver_and_run(MessageType::kRetrieveTsReq,
+                  wire::RetrieveTsReq{Key{"k"}, Timestamp{}, 2}.encode());
+  auto reps =
+      probe.decode_all<wire::RetrieveTsRep>(MessageType::kRetrieveTsRep);
+  ASSERT_EQ(reps.size(), 1u);
+  ASSERT_EQ(reps[0].entries.size(), 2u);
+  EXPECT_EQ(reps[0].entries[0].ts.wall_micros, 500);
+  EXPECT_EQ(reps[0].entries[1].ts.wall_micros, 400);
+  EXPECT_TRUE(reps[0].more);
+
+  // Page 2: continue strictly below the floor of page 1.
+  deliver_and_run(
+      MessageType::kRetrieveTsReq,
+      wire::RetrieveTsReq{Key{"k"}, reps[0].entries[1].ts, 2}.encode());
+  reps = probe.decode_all<wire::RetrieveTsRep>(MessageType::kRetrieveTsRep);
+  ASSERT_EQ(reps.size(), 2u);
+  ASSERT_EQ(reps[1].entries.size(), 2u);
+  EXPECT_EQ(reps[1].entries[0].ts.wall_micros, 300);
+  EXPECT_EQ(reps[1].entries[1].ts.wall_micros, 200);
+  EXPECT_TRUE(reps[1].more);
+
+  // Final page.
+  deliver_and_run(
+      MessageType::kRetrieveTsReq,
+      wire::RetrieveTsReq{Key{"k"}, reps[1].entries[1].ts, 2}.encode());
+  reps = probe.decode_all<wire::RetrieveTsRep>(MessageType::kRetrieveTsRep);
+  ASSERT_EQ(reps.size(), 3u);
+  ASSERT_EQ(reps[2].entries.size(), 1u);
+  EXPECT_EQ(reps[2].entries[0].ts.wall_micros, 100);
+  EXPECT_FALSE(reps[2].more);
+}
+
+TEST_F(KlsTest, RetrieveTsUnknownKeyIsEmpty) {
+  deliver_and_run(MessageType::kRetrieveTsReq,
+                  wire::RetrieveTsReq{Key{"nope"}, {}, 0}.encode());
+  auto reps =
+      probe.decode_all<wire::RetrieveTsRep>(MessageType::kRetrieveTsRep);
+  ASSERT_EQ(reps.size(), 1u);
+  EXPECT_TRUE(reps[0].entries.empty());
+}
+
+TEST_F(KlsTest, ConvergeVerifiesCompleteness) {
+  Metadata partial{Policy{}};
+  partial.locs[0] = Location{tc.cluster.fs(0).id(), 0};
+  deliver_and_run(MessageType::kKlsConvergeReq,
+                  wire::KlsConvergeReq{ov("k"), partial}.encode());
+  auto reps =
+      probe.decode_all<wire::KlsConvergeRep>(MessageType::kKlsConvergeRep);
+  ASSERT_EQ(reps.size(), 1u);
+  EXPECT_FALSE(reps[0].verified);
+
+  Metadata complete{Policy{}};
+  for (size_t i = 0; i < complete.locs.size(); ++i) {
+    complete.locs[i] = Location{tc.cluster.fs(static_cast<int>(i) % 6).id(),
+                                static_cast<uint8_t>(i / 6)};
+  }
+  deliver_and_run(MessageType::kKlsConvergeReq,
+                  wire::KlsConvergeReq{ov("k"), complete}.encode());
+  reps = probe.decode_all<wire::KlsConvergeRep>(MessageType::kKlsConvergeRep);
+  ASSERT_EQ(reps.size(), 2u);
+  EXPECT_TRUE(reps[1].verified);
+  // Convergence also registered the timestamp so gets can find it.
+  EXPECT_TRUE(kls->timestamp_store().contains(ov("k").key, ov("k").ts));
+}
+
+TEST_F(KlsTest, ConvergeMergeIsMonotonic) {
+  Metadata complete{Policy{}};
+  for (size_t i = 0; i < complete.locs.size(); ++i) {
+    complete.locs[i] = Location{tc.cluster.fs(static_cast<int>(i) % 6).id(),
+                                static_cast<uint8_t>(i / 6)};
+  }
+  deliver_and_run(MessageType::kKlsConvergeReq,
+                  wire::KlsConvergeReq{ov("k"), complete}.encode());
+  // A later converge with *less* information cannot regress the store.
+  deliver_and_run(MessageType::kKlsConvergeReq,
+                  wire::KlsConvergeReq{ov("k"), Metadata{Policy{}}}.encode());
+  EXPECT_TRUE(kls->meta_store().find(ov("k"))->complete());
+  auto reps =
+      probe.decode_all<wire::KlsConvergeRep>(MessageType::kKlsConvergeRep);
+  ASSERT_EQ(reps.size(), 2u);
+  EXPECT_TRUE(reps[1].verified);
+}
+
+TEST_F(KlsTest, CrashedKlsIsSilent) {
+  kls->crash();
+  deliver_and_run(MessageType::kRetrieveTsReq,
+                  wire::RetrieveTsReq{Key{"k"}, {}, 0}.encode());
+  EXPECT_TRUE(probe.received.empty());
+  kls->recover();
+  deliver_and_run(MessageType::kRetrieveTsReq,
+                  wire::RetrieveTsReq{Key{"k"}, {}, 0}.encode());
+  EXPECT_EQ(probe.received.size(), 1u);
+}
+
+TEST_F(KlsTest, StateSurvivesCrashRecover) {
+  deliver_and_run(
+      MessageType::kStoreMetadataReq,
+      wire::StoreMetadataReq{ov("k"), Metadata{Policy{}, 99}}.encode());
+  kls->crash();
+  kls->recover();
+  EXPECT_TRUE(kls->meta_store().contains(ov("k")));
+  EXPECT_EQ(kls->meta_store().find(ov("k"))->value_size, 99u);
+}
+
+}  // namespace
+}  // namespace pahoehoe

@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace pahoehoe::net {
+namespace {
+
+using wire::Envelope;
+using wire::MessageType;
+
+class Recorder : public MessageHandler {
+ public:
+  void handle(const Envelope& env) override {
+    received.push_back(env);
+    times.push_back(sim != nullptr ? sim->now() : 0);
+  }
+  std::vector<Envelope> received;
+  std::vector<SimTime> times;
+  const sim::Simulator* sim = nullptr;
+};
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : sim_(1), net_(sim_) {
+    net_.register_node(a_, &ra_);
+    net_.register_node(b_, &rb_);
+  }
+
+  void send_ab(int count = 1) {
+    for (int i = 0; i < count; ++i) {
+      net_.send(a_, b_, MessageType::kAmrIndication, Bytes(10, 0));
+    }
+  }
+
+  sim::Simulator sim_;
+  Network net_;
+  NodeId a_{1}, b_{2};
+  Recorder ra_, rb_;
+};
+
+TEST_F(NetworkTest, DeliversWithinLatencyBounds) {
+  rb_.sim = &sim_;
+  for (int i = 0; i < 100; ++i) {
+    net_.send(a_, b_, MessageType::kAmrIndication, {});
+  }
+  sim_.run();
+  ASSERT_EQ(rb_.received.size(), 100u);
+  for (SimTime t : rb_.times) {
+    EXPECT_GE(t, 10 * kMicrosPerMilli);
+    EXPECT_LE(t, 30 * kMicrosPerMilli);
+  }
+}
+
+TEST_F(NetworkTest, EnvelopeCarriesRoutingAndPayload) {
+  net_.send(a_, b_, MessageType::kStoreFragmentReq, Bytes{1, 2, 3});
+  sim_.run();
+  ASSERT_EQ(rb_.received.size(), 1u);
+  EXPECT_EQ(rb_.received[0].from, a_);
+  EXPECT_EQ(rb_.received[0].to, b_);
+  EXPECT_EQ(rb_.received[0].type, MessageType::kStoreFragmentReq);
+  EXPECT_EQ(rb_.received[0].payload, (Bytes{1, 2, 3}));
+}
+
+TEST_F(NetworkTest, StatsCountSentAndBytes) {
+  send_ab(5);
+  sim_.run();
+  const auto& s = net_.stats().of(MessageType::kAmrIndication);
+  EXPECT_EQ(s.sent_count, 5u);
+  EXPECT_EQ(s.sent_bytes, 5 * (Envelope::kHeaderBytes + 10));
+  EXPECT_EQ(s.delivered_count, 5u);
+  EXPECT_EQ(s.dropped_count, 0u);
+  EXPECT_EQ(net_.stats().total_sent_count(), 5u);
+}
+
+TEST_F(NetworkTest, BlackoutDropsBothDirectionsDuringWindow) {
+  net_.add_fault(std::make_shared<NodeBlackout>(b_, 0, 1000));
+  send_ab();
+  net_.send(b_, a_, MessageType::kAmrIndication, {});
+  sim_.run();
+  EXPECT_TRUE(rb_.received.empty());
+  EXPECT_TRUE(ra_.received.empty());
+  EXPECT_EQ(net_.stats().of(MessageType::kAmrIndication).dropped_count, 2u);
+  // Dropped messages still count as sent (the paper's cost metric).
+  EXPECT_EQ(net_.stats().of(MessageType::kAmrIndication).sent_count, 2u);
+}
+
+TEST_F(NetworkTest, BlackoutEndsAtWindowEnd) {
+  net_.add_fault(std::make_shared<NodeBlackout>(b_, 0, 1000));
+  sim_.schedule_at(1000, [&] { send_ab(); });
+  sim_.run();
+  EXPECT_EQ(rb_.received.size(), 1u);
+}
+
+TEST_F(NetworkTest, BlackoutDoesNotAffectOtherPairs) {
+  Recorder rc;
+  NodeId c{3};
+  net_.register_node(c, &rc);
+  net_.add_fault(std::make_shared<NodeBlackout>(b_, 0, 1000));
+  net_.send(a_, c, MessageType::kAmrIndication, {});
+  sim_.run();
+  EXPECT_EQ(rc.received.size(), 1u);
+}
+
+TEST_F(NetworkTest, PartitionDropsCrossGroupOnly) {
+  Recorder rc;
+  NodeId c{3};
+  net_.register_node(c, &rc);
+  net_.add_fault(std::make_shared<Partition>(
+      std::unordered_set<NodeId>{a_, c}, 0, 1000));
+  net_.send(a_, c, MessageType::kAmrIndication, {});  // same side: ok
+  send_ab();                                          // cross: dropped
+  net_.send(b_, a_, MessageType::kAmrIndication, {});  // cross: dropped
+  sim_.run();
+  EXPECT_EQ(rc.received.size(), 1u);
+  EXPECT_TRUE(rb_.received.empty());
+  EXPECT_TRUE(ra_.received.empty());
+}
+
+TEST_F(NetworkTest, UniformLossDropsApproximateRate) {
+  net_.add_fault(std::make_shared<UniformLoss>(0.2));
+  const int total = 5000;
+  send_ab(total);
+  sim_.run();
+  const auto& s = net_.stats().of(MessageType::kAmrIndication);
+  EXPECT_EQ(s.sent_count, static_cast<uint64_t>(total));
+  const double drop_rate =
+      static_cast<double>(s.dropped_count) / static_cast<double>(total);
+  EXPECT_NEAR(drop_rate, 0.2, 0.03);
+  EXPECT_EQ(s.delivered_count + s.dropped_count,
+            static_cast<uint64_t>(total));
+}
+
+TEST_F(NetworkTest, ZeroLossDropsNothing) {
+  net_.add_fault(std::make_shared<UniformLoss>(0.0));
+  send_ab(100);
+  sim_.run();
+  EXPECT_EQ(rb_.received.size(), 100u);
+}
+
+TEST_F(NetworkTest, FaultRulesCompose) {
+  net_.add_fault(std::make_shared<UniformLoss>(0.0));
+  net_.add_fault(std::make_shared<NodeBlackout>(b_, 0, 100));
+  send_ab();
+  sim_.run();
+  EXPECT_TRUE(rb_.received.empty());  // any rule voting drop wins
+}
+
+TEST_F(NetworkTest, ClearFaultsRestoresDelivery) {
+  net_.add_fault(std::make_shared<NodeBlackout>(
+      b_, 0, std::numeric_limits<SimTime>::max()));
+  send_ab();
+  sim_.run();
+  EXPECT_TRUE(rb_.received.empty());
+  net_.clear_faults();
+  send_ab();
+  sim_.run();
+  EXPECT_EQ(rb_.received.size(), 1u);
+}
+
+TEST_F(NetworkTest, DuplicationDeliversTwice) {
+  sim::Simulator sim(2);
+  NetworkConfig config;
+  config.duplication_rate = 1.0;
+  Network net(sim, config);
+  Recorder recv;
+  net.register_node(a_, &recv);
+  net.register_node(b_, &recv);
+  net.send(a_, b_, MessageType::kAmrIndication, Bytes{1});
+  sim.run();
+  EXPECT_EQ(recv.received.size(), 2u);
+  // Duplication is a channel property; it is counted once as sent.
+  EXPECT_EQ(net.stats().of(MessageType::kAmrIndication).sent_count, 1u);
+}
+
+TEST_F(NetworkTest, WanBytesTrackedWithResolver) {
+  net_.set_dc_resolver([this](NodeId id) {
+    return id == a_ ? DataCenterId{0} : DataCenterId{1};
+  });
+  send_ab(3);  // cross-DC
+  net_.send(b_, b_, MessageType::kAmrIndication, {});  // same DC
+  sim_.run();
+  EXPECT_EQ(net_.stats().wan_sent_count(), 3u);
+  EXPECT_EQ(net_.stats().wan_sent_bytes(),
+            3 * (Envelope::kHeaderBytes + 10));
+}
+
+TEST_F(NetworkTest, SendToUnregisteredNodeAborts) {
+  EXPECT_DEATH(net_.send(a_, NodeId{99}, MessageType::kAmrIndication, {}),
+               "unregistered");
+}
+
+TEST_F(NetworkTest, DoubleRegistrationAborts) {
+  EXPECT_DEATH(net_.register_node(a_, &ra_), "twice");
+}
+
+TEST_F(NetworkTest, StatsResetClearsEverything) {
+  net_.set_dc_resolver([this](NodeId id) {
+    return id == a_ ? DataCenterId{0} : DataCenterId{1};
+  });
+  send_ab(4);
+  sim_.run();
+  net_.stats().reset();
+  EXPECT_EQ(net_.stats().total_sent_count(), 0u);
+  EXPECT_EQ(net_.stats().total_sent_bytes(), 0u);
+  EXPECT_EQ(net_.stats().wan_sent_bytes(), 0u);
+}
+
+TEST_F(NetworkTest, SentEqualsDeliveredPlusDroppedUnderLoss) {
+  // Accounting invariant: every sent message is eventually classified as
+  // delivered or dropped, per type.
+  net_.add_fault(std::make_shared<UniformLoss>(0.35));
+  send_ab(2000);
+  net_.send(b_, a_, MessageType::kFsConvergeReq, Bytes(5, 0));
+  sim_.run();
+  for (int t = 0; t < wire::kMessageTypeCount; ++t) {
+    const auto& s = net_.stats().of(static_cast<wire::MessageType>(t));
+    EXPECT_EQ(s.sent_count, s.delivered_count + s.dropped_count)
+        << wire::to_string(static_cast<wire::MessageType>(t));
+  }
+}
+
+TEST_F(NetworkTest, TypedDropOnlyAffectsItsType) {
+  net_.add_fault(
+      std::make_shared<TypedDrop>(MessageType::kAmrIndication));
+  send_ab(3);  // AMR indications: dropped
+  net_.send(a_, b_, MessageType::kFsConvergeReq, {});
+  sim_.run();
+  EXPECT_EQ(net_.stats().of(MessageType::kAmrIndication).dropped_count, 3u);
+  EXPECT_EQ(net_.stats().of(MessageType::kFsConvergeReq).delivered_count,
+            1u);
+}
+
+TEST_F(NetworkTest, TableListsNonzeroTypesOnly) {
+  send_ab(2);
+  sim_.run();
+  const std::string table = net_.stats().to_table();
+  EXPECT_NE(table.find("AMRIndication"), std::string::npos);
+  EXPECT_EQ(table.find("SiblingStoreReq"), std::string::npos);
+  EXPECT_NE(table.find("TOTAL"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pahoehoe::net

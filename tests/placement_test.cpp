@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/placement.h"
+
+namespace pahoehoe::core {
+namespace {
+
+std::vector<NodeId> three_fs() { return {NodeId{10}, NodeId{11}, NodeId{12}}; }
+
+ObjectVersionId ov(const std::string& key) {
+  return ObjectVersionId{Key{key}, Timestamp{100, 1}};
+}
+
+TEST(PlacementTest, DefaultPolicySlotRanges) {
+  Policy p;
+  auto [b0, e0] = dc_slot_range(p, 2, DataCenterId{0});
+  auto [b1, e1] = dc_slot_range(p, 2, DataCenterId{1});
+  EXPECT_EQ(b0, 0);
+  EXPECT_EQ(e0, 6);
+  EXPECT_EQ(b1, 6);
+  EXPECT_EQ(e1, 12);
+}
+
+TEST(PlacementTest, DataFragmentsLandInOneDc) {
+  // The default policy keeps all k data fragments inside DC 0's range.
+  Policy p;
+  auto [b0, e0] = dc_slot_range(p, 2, DataCenterId{0});
+  EXPECT_LE(b0, 0);
+  EXPECT_GE(e0, p.k);
+}
+
+TEST(PlacementTest, UnevenSplitGivesRemainderToLowerDcs) {
+  Policy p;
+  p.k = 3;
+  p.n = 10;
+  auto [b0, e0] = dc_slot_range(p, 3, DataCenterId{0});
+  auto [b1, e1] = dc_slot_range(p, 3, DataCenterId{1});
+  auto [b2, e2] = dc_slot_range(p, 3, DataCenterId{2});
+  EXPECT_EQ(e0 - b0, 4);  // 10 = 4 + 3 + 3
+  EXPECT_EQ(e1 - b1, 3);
+  EXPECT_EQ(e2 - b2, 3);
+  EXPECT_EQ(b1, e0);
+  EXPECT_EQ(b2, e1);
+  EXPECT_EQ(e2, 10);
+}
+
+TEST(PlacementTest, DcOfSlotInvertsRanges) {
+  Policy p;
+  for (int slot = 0; slot < p.n; ++slot) {
+    const DataCenterId dc = dc_of_slot(p, 2, slot);
+    auto [b, e] = dc_slot_range(p, 2, dc);
+    EXPECT_GE(slot, b);
+    EXPECT_LT(slot, e);
+  }
+}
+
+TEST(PlacementTest, SuggestsOnlyOwnDcSlots) {
+  const auto locs =
+      suggest_locations(Policy{}, ov("k"), DataCenterId{1}, three_fs(), 2, 2);
+  ASSERT_EQ(locs.size(), 12u);
+  for (int slot = 0; slot < 6; ++slot) {
+    EXPECT_FALSE(locs[static_cast<size_t>(slot)].has_value());
+  }
+  for (int slot = 6; slot < 12; ++slot) {
+    EXPECT_TRUE(locs[static_cast<size_t>(slot)].has_value());
+  }
+}
+
+TEST(PlacementTest, RespectsPerFsLimit) {
+  const auto locs =
+      suggest_locations(Policy{}, ov("k"), DataCenterId{0}, three_fs(), 2, 2);
+  std::map<NodeId, int> per_fs;
+  for (const auto& loc : locs) {
+    if (loc.has_value()) per_fs[loc->fs] += 1;
+  }
+  EXPECT_EQ(per_fs.size(), 3u);  // all three FSs used
+  for (const auto& [fs, count] : per_fs) {
+    (void)fs;
+    EXPECT_LE(count, 2);
+  }
+}
+
+TEST(PlacementTest, DistinctDisksForSameFs) {
+  const auto locs =
+      suggest_locations(Policy{}, ov("k"), DataCenterId{0}, three_fs(), 2, 2);
+  std::map<NodeId, std::set<uint8_t>> disks;
+  for (const auto& loc : locs) {
+    if (loc.has_value()) disks[loc->fs].insert(loc->disk);
+  }
+  for (const auto& [fs, set] : disks) {
+    (void)fs;
+    EXPECT_EQ(set.size(), 2u);  // two fragments on two distinct disks
+  }
+}
+
+TEST(PlacementTest, DeterministicForSameObjectVersion) {
+  const auto a =
+      suggest_locations(Policy{}, ov("k"), DataCenterId{0}, three_fs(), 2, 2);
+  const auto b =
+      suggest_locations(Policy{}, ov("k"), DataCenterId{0}, three_fs(), 2, 2);
+  EXPECT_EQ(a, b);
+}
+
+TEST(PlacementTest, RotationSpreadsLoadAcrossObjects) {
+  // With a 3-slot demand on 3 FSs, different objects should not all start
+  // at the same FS.
+  Policy p;
+  p.k = 1;
+  p.n = 3;
+  p.max_frags_per_fs = 1;
+  p.max_frags_per_dc = 3;
+  std::set<uint32_t> first_fs;
+  for (int i = 0; i < 40; ++i) {
+    const auto locs = suggest_locations(p, ov("obj" + std::to_string(i)),
+                                        DataCenterId{0}, three_fs(), 2, 1);
+    for (const auto& loc : locs) {
+      if (loc.has_value()) {
+        first_fs.insert(loc->fs.value);
+        break;
+      }
+    }
+  }
+  EXPECT_GT(first_fs.size(), 1u);
+}
+
+TEST(PlacementTest, InsufficientCapacityLeavesSlotsUndecided) {
+  // One FS with one usable disk cannot host 6 fragments.
+  Policy p;  // wants 6 slots in DC 0
+  const auto locs = suggest_locations(p, ov("k"), DataCenterId{0},
+                                      {NodeId{10}}, /*disks_per_fs=*/1, 2);
+  int decided = 0;
+  for (const auto& loc : locs) {
+    if (loc.has_value()) ++decided;
+  }
+  EXPECT_EQ(decided, 1);  // min(max_frags_per_fs=2, disks=1) * 1 FS
+}
+
+TEST(PlacementTest, SingleDcOwnsAllSlots) {
+  Policy p;
+  auto [b, e] = dc_slot_range(p, 1, DataCenterId{0});
+  EXPECT_EQ(b, 0);
+  EXPECT_EQ(e, 12);
+}
+
+}  // namespace
+}  // namespace pahoehoe::core

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace pahoehoe::sim {
+namespace {
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator sim(1);
+  std::vector<int> order;
+  sim.schedule_at(300, [&] { order.push_back(3); });
+  sim.schedule_at(100, [&] { order.push_back(1); });
+  sim.schedule_at(200, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 300);
+}
+
+TEST(SimulatorTest, SameTimeFifoByScheduleOrder) {
+  Simulator sim(1);
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(50, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(SimulatorTest, ScheduleAfterUsesCurrentTime) {
+  Simulator sim(1);
+  SimTime fired_at = -1;
+  sim.schedule_at(100, [&] {
+    sim.schedule_after(50, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired_at, 150);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim(1);
+  bool fired = false;
+  TimerId id = sim.schedule_at(100, [&] { fired = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, CancelAfterFireIsHarmless) {
+  Simulator sim(1);
+  int count = 0;
+  TimerId id = sim.schedule_at(10, [&] { ++count; });
+  sim.run();
+  sim.cancel(id);  // already fired
+  sim.cancel(0);   // never valid
+  sim.cancel(9999);
+  sim.run();
+  EXPECT_EQ(count, 1);
+}
+
+TEST(SimulatorTest, CancelFromInsideEarlierEvent) {
+  Simulator sim(1);
+  bool fired = false;
+  TimerId later = sim.schedule_at(200, [&] { fired = true; });
+  sim.schedule_at(100, [&] { sim.cancel(later); });
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtLimit) {
+  Simulator sim(1);
+  std::vector<SimTime> fired;
+  for (SimTime t : {10, 20, 30, 40}) {
+    sim.schedule_at(t, [&fired, &sim] { fired.push_back(sim.now()); });
+  }
+  sim.run(25);
+  EXPECT_EQ(fired, (std::vector<SimTime>{10, 20}));
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.run();
+  EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(SimulatorTest, RunUntilIgnoresCancelledHead) {
+  Simulator sim(1);
+  // A cancelled event inside the window must not cause execution of an
+  // event beyond the window.
+  TimerId id = sim.schedule_at(10, [] {});
+  bool fired_late = false;
+  sim.schedule_at(100, [&] { fired_late = true; });
+  sim.cancel(id);
+  sim.run(50);
+  EXPECT_FALSE(fired_late);
+  sim.run();
+  EXPECT_TRUE(fired_late);
+}
+
+TEST(SimulatorTest, EventsScheduledDuringRunExecute) {
+  Simulator sim(1);
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) sim.schedule_after(1, chain);
+  };
+  sim.schedule_at(0, chain);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.now(), 99);
+}
+
+TEST(SimulatorTest, StepExecutesExactlyOne) {
+  Simulator sim(1);
+  int count = 0;
+  sim.schedule_at(1, [&] { ++count; });
+  sim.schedule_at(2, [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(SimulatorTest, ExecutedCounter) {
+  Simulator sim(1);
+  for (int i = 0; i < 5; ++i) sim.schedule_at(i, [] {});
+  sim.run();
+  EXPECT_EQ(sim.executed(), 5u);
+}
+
+TEST(SimulatorTest, SchedulingInPastAborts) {
+  Simulator sim(1);
+  sim.schedule_at(100, [] {});
+  sim.run();
+  EXPECT_DEATH(sim.schedule_at(50, [] {}), "past");
+}
+
+TEST(SimulatorTest, DeterministicRngStream) {
+  Simulator a(77), b(77);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.rng().next_u64(), b.rng().next_u64());
+  }
+  Simulator c(78);
+  bool differs = false;
+  Simulator d(77);
+  for (int i = 0; i < 50; ++i) {
+    if (c.rng().next_u64() != d.rng().next_u64()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(SimulatorTest, LargeEventVolume) {
+  Simulator sim(1);
+  int fired = 0;
+  for (int i = 0; i < 100000; ++i) {
+    sim.schedule_at(sim.rng().uniform_int(0, 1'000'000),
+                    [&fired] { ++fired; });
+  }
+  sim.run();
+  EXPECT_EQ(fired, 100000);
+}
+
+}  // namespace
+}  // namespace pahoehoe::sim

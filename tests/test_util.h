@@ -1,0 +1,86 @@
+// Shared test fixture: a simulator + network + cluster bundle with blocking
+// put/get helpers (blocking in simulated time — they drive the event loop
+// until the operation's callback fires).
+#pragma once
+
+#include <optional>
+
+#include "core/cluster.h"
+#include "core/config.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace pahoehoe::testing {
+
+struct SimCluster {
+  explicit SimCluster(core::ConvergenceOptions conv = {},
+                      core::ClusterTopology topology = {},
+                      uint64_t seed = 42,
+                      core::ProxyOptions proxy_options = {},
+                      net::NetworkConfig net_config = {})
+      : sim(seed),
+        net(sim, net_config),
+        cluster(sim, net, topology, conv, proxy_options) {}
+
+  /// Issue a put and run the simulation until the client callback fires.
+  core::PutResult put(const Key& key, const Bytes& value,
+                      const Policy& policy = Policy{}, int proxy_index = 0) {
+    std::optional<core::PutResult> result;
+    cluster.proxy(proxy_index)
+        .put(key, value, policy,
+             [&result](const core::PutResult& r) { result = r; });
+    while (!result.has_value() && sim.step()) {
+    }
+    PAHOEHOE_CHECK_MSG(result.has_value(), "put callback never fired");
+    return *result;
+  }
+
+  /// Issue a get and run the simulation until the client callback fires.
+  core::GetResult get(const Key& key, int proxy_index = 0) {
+    std::optional<core::GetResult> result;
+    cluster.proxy(proxy_index)
+        .get(key, [&result](const core::GetResult& r) { result = r; });
+    while (!result.has_value() && sim.step()) {
+    }
+    PAHOEHOE_CHECK_MSG(result.has_value(), "get callback never fired");
+    return *result;
+  }
+
+  /// Run the simulation for `duration` more simulated microseconds.
+  void run_for(SimTime duration) { sim.run(sim.now() + duration); }
+  /// Run the simulation until the event queue drains.
+  void run_to_quiescence() { sim.run(); }
+
+  /// Drop all traffic of an FS for [now + start_in, now + start_in + len).
+  void blackout_fs(int dc, int index, SimTime start_in, SimTime len) {
+    const NodeId id = cluster.view()->fs_by_dc[static_cast<size_t>(dc)]
+                                              [static_cast<size_t>(index)];
+    net.add_fault(std::make_shared<net::NodeBlackout>(
+        id, sim.now() + start_in, sim.now() + start_in + len));
+  }
+
+  void blackout_kls(int dc, int index, SimTime start_in, SimTime len) {
+    const NodeId id = cluster.view()->kls_by_dc[static_cast<size_t>(dc)]
+                                               [static_cast<size_t>(index)];
+    net.add_fault(std::make_shared<net::NodeBlackout>(
+        id, sim.now() + start_in, sim.now() + start_in + len));
+  }
+
+  Bytes make_value(size_t size, uint8_t salt = 1) {
+    Bytes value(size);
+    for (size_t i = 0; i < size; ++i) {
+      value[i] = static_cast<uint8_t>(i * 131 + salt);
+    }
+    return value;
+  }
+
+  sim::Simulator sim;
+  net::Network net;
+  core::Cluster cluster;
+};
+
+constexpr SimTime seconds(int64_t s) { return s * kMicrosPerSecond; }
+constexpr SimTime minutes(int64_t m) { return m * 60 * kMicrosPerSecond; }
+constexpr SimTime hours(int64_t h) { return h * 3600 * kMicrosPerSecond; }
+
+}  // namespace pahoehoe::testing

@@ -1,0 +1,314 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/sha256.h"
+#include "wire/messages.h"
+#include "wire/serde.h"
+
+namespace pahoehoe::wire {
+namespace {
+
+// --- primitives ---------------------------------------------------------------
+
+TEST(SerdeTest, PrimitiveRoundTrip) {
+  Writer w;
+  w.u8(0xab);
+  w.u16(0xbeef);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.i64(-42);
+  w.boolean(true);
+  w.boolean(false);
+  w.bytes(Bytes{1, 2, 3});
+  w.str("hello");
+
+  Reader r(w.data());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0xbeef);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  EXPECT_EQ(r.bytes(), (Bytes{1, 2, 3}));
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(SerdeTest, TruncatedInputThrows) {
+  Writer w;
+  w.u32(7);
+  Bytes data = w.data();
+  data.pop_back();
+  Reader r(data);
+  EXPECT_THROW(r.u32(), WireError);
+}
+
+TEST(SerdeTest, TruncatedLengthPrefixedFieldThrows) {
+  Writer w;
+  w.u32(100);  // claims 100 bytes follow; none do
+  Reader r(w.data());
+  EXPECT_THROW(r.bytes(), WireError);
+}
+
+TEST(SerdeTest, InvalidBooleanThrows) {
+  Bytes data{2};
+  Reader r(data);
+  EXPECT_THROW(r.boolean(), WireError);
+}
+
+TEST(SerdeTest, TrailingBytesDetected) {
+  Writer w;
+  w.u8(1);
+  w.u8(2);
+  Reader r(w.data());
+  r.u8();
+  EXPECT_THROW(r.expect_exhausted(), WireError);
+}
+
+TEST(SerdeTest, EmptyBytesAndString) {
+  Writer w;
+  w.bytes({});
+  w.str("");
+  Reader r(w.data());
+  EXPECT_TRUE(r.bytes().empty());
+  EXPECT_TRUE(r.str().empty());
+}
+
+// --- domain types ---------------------------------------------------------------
+
+Metadata sample_metadata() {
+  Metadata meta{Policy{}, 12345};
+  meta.locs[0] = Location{NodeId{8}, 0};
+  meta.locs[3] = Location{NodeId{9}, 1};
+  meta.locs[11] = Location{NodeId{10}, 0};
+  return meta;
+}
+
+TEST(SerdeTest, MetadataRoundTrip) {
+  const Metadata meta = sample_metadata();
+  Writer w;
+  encode(w, meta);
+  Reader r(w.data());
+  const Metadata back = decode_metadata(r);
+  EXPECT_EQ(back, meta);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(SerdeTest, PolicyValidationOnDecode) {
+  Policy bad;
+  bad.k = 8;
+  bad.n = 4;  // invalid: n < k
+  Writer w;
+  encode(w, bad);
+  Reader r(w.data());
+  EXPECT_THROW(decode_policy(r), WireError);
+}
+
+TEST(SerdeTest, TimestampRoundTrip) {
+  Writer w;
+  encode(w, Timestamp{123456789, 42});
+  Reader r(w.data());
+  EXPECT_EQ(decode_timestamp(r), (Timestamp{123456789, 42}));
+}
+
+// --- message round trips -----------------------------------------------------------
+
+ObjectVersionId sample_ov() {
+  return ObjectVersionId{Key{"photo-123"}, Timestamp{987654321, 3}};
+}
+
+TEST(MessagesTest, DecideLocsReqRoundTripProxyAndFs) {
+  DecideLocsReq req{sample_ov(), Policy{}, false};
+  EXPECT_EQ(req.type(), MessageType::kDecideLocsReq);
+  const auto back = DecideLocsReq::decode(req.encode());
+  EXPECT_EQ(back.ov, req.ov);
+  EXPECT_FALSE(back.from_fs);
+
+  req.from_fs = true;
+  EXPECT_EQ(req.type(), MessageType::kFsDecideLocsReq);
+  EXPECT_TRUE(DecideLocsReq::decode(req.encode()).from_fs);
+}
+
+TEST(MessagesTest, DecideLocsRepRoundTrip) {
+  DecideLocsRep rep{sample_ov(), sample_metadata(), DataCenterId{1}};
+  const auto back = DecideLocsRep::decode(rep.encode());
+  EXPECT_EQ(back.ov, rep.ov);
+  EXPECT_EQ(back.meta, rep.meta);
+  EXPECT_EQ(back.dc, rep.dc);
+}
+
+TEST(MessagesTest, StoreMetadataRoundTrip) {
+  StoreMetadataReq req{sample_ov(), sample_metadata()};
+  const auto back = StoreMetadataReq::decode(req.encode());
+  EXPECT_EQ(back.ov, req.ov);
+  EXPECT_EQ(back.meta, req.meta);
+
+  StoreMetadataRep rep{sample_ov(), Status::kFailure};
+  const auto rback = StoreMetadataRep::decode(rep.encode());
+  EXPECT_EQ(rback.status, Status::kFailure);
+}
+
+TEST(MessagesTest, StoreFragmentRoundTrip) {
+  StoreFragmentReq req;
+  req.ov = sample_ov();
+  req.meta = sample_metadata();
+  req.frag_index = 7;
+  req.fragment = Bytes{9, 8, 7, 6};
+  req.digest = Sha256::hash(req.fragment);
+  const auto back = StoreFragmentReq::decode(req.encode());
+  EXPECT_EQ(back.ov, req.ov);
+  EXPECT_EQ(back.frag_index, 7);
+  EXPECT_EQ(back.fragment, req.fragment);
+  EXPECT_EQ(back.digest, req.digest);
+}
+
+TEST(MessagesTest, AmrIndicationRoundTrip) {
+  AmrIndication msg{sample_ov()};
+  EXPECT_EQ(AmrIndication::decode(msg.encode()).ov, msg.ov);
+}
+
+TEST(MessagesTest, RetrieveTsRoundTrip) {
+  RetrieveTsReq req{Key{"k"}, {}, 0};
+  EXPECT_EQ(RetrieveTsReq::decode(req.encode()).key, req.key);
+
+  RetrieveTsRep rep;
+  rep.key = Key{"k"};
+  rep.entries.push_back({Timestamp{1, 1}, sample_metadata()});
+  rep.entries.push_back({Timestamp{2, 1}, Metadata{}});
+  const auto back = RetrieveTsRep::decode(rep.encode());
+  ASSERT_EQ(back.entries.size(), 2u);
+  EXPECT_EQ(back.entries[0].ts, (Timestamp{1, 1}));
+  EXPECT_EQ(back.entries[0].meta, rep.entries[0].meta);
+  EXPECT_EQ(back.entries[1].meta.locs.size(), 0u);
+}
+
+TEST(MessagesTest, RetrieveFragRoundTrip) {
+  RetrieveFragReq req{sample_ov(), 11};
+  const auto back = RetrieveFragReq::decode(req.encode());
+  EXPECT_EQ(back.frag_index, 11);
+
+  RetrieveFragRep rep{sample_ov(), 11, true, Bytes{1, 2}};
+  const auto rback = RetrieveFragRep::decode(rep.encode());
+  EXPECT_TRUE(rback.found);
+  EXPECT_EQ(rback.fragment, (Bytes{1, 2}));
+
+  RetrieveFragRep bot{sample_ov(), 11, false, {}};
+  EXPECT_FALSE(RetrieveFragRep::decode(bot.encode()).found);
+}
+
+TEST(MessagesTest, ConvergeRoundTrips) {
+  KlsConvergeReq kreq{sample_ov(), sample_metadata()};
+  EXPECT_EQ(KlsConvergeReq::decode(kreq.encode()).meta, kreq.meta);
+  KlsConvergeRep krep{sample_ov(), true};
+  EXPECT_TRUE(KlsConvergeRep::decode(krep.encode()).verified);
+
+  FsConvergeReq freq{sample_ov(), sample_metadata(), true};
+  EXPECT_TRUE(FsConvergeReq::decode(freq.encode()).intends_recovery);
+
+  FsConvergeRep frep;
+  frep.ov = sample_ov();
+  frep.verified = false;
+  frep.needed_fragments = {2, 5};
+  frep.also_recovering = true;
+  const auto fback = FsConvergeRep::decode(frep.encode());
+  EXPECT_EQ(fback.needed_fragments, (std::vector<uint16_t>{2, 5}));
+  EXPECT_TRUE(fback.also_recovering);
+  EXPECT_FALSE(fback.verified);
+}
+
+TEST(MessagesTest, SiblingStoreRoundTrip) {
+  SiblingStoreReq req;
+  req.ov = sample_ov();
+  req.meta = sample_metadata();
+  req.frag_index = 4;
+  req.fragment = Bytes(100, 0x5a);
+  req.digest = Sha256::hash(req.fragment);
+  const auto back = SiblingStoreReq::decode(req.encode());
+  EXPECT_EQ(back.fragment, req.fragment);
+  EXPECT_EQ(back.digest, req.digest);
+
+  SiblingStoreRep rep{sample_ov(), 4, Status::kSuccess};
+  EXPECT_EQ(SiblingStoreRep::decode(rep.encode()).frag_index, 4);
+}
+
+TEST(MessagesTest, KlsLocsNotifyRoundTrip) {
+  KlsLocsNotify msg{sample_ov(), sample_metadata()};
+  EXPECT_EQ(KlsLocsNotify::decode(msg.encode()).meta, msg.meta);
+}
+
+TEST(MessagesTest, DecodeRejectsTruncatedPayloads) {
+  StoreFragmentReq req;
+  req.ov = sample_ov();
+  req.meta = sample_metadata();
+  req.fragment = Bytes(64, 1);
+  req.digest = Sha256::hash(req.fragment);
+  Bytes payload = req.encode();
+  // Any strict prefix must be rejected, not silently mis-parsed.
+  for (size_t cut : {size_t{0}, size_t{1}, size_t{10}, payload.size() / 2,
+                     payload.size() - 1}) {
+    Bytes truncated(payload.begin(),
+                    payload.begin() + static_cast<long>(cut));
+    EXPECT_THROW(StoreFragmentReq::decode(truncated), WireError)
+        << "cut=" << cut;
+  }
+}
+
+TEST(MessagesTest, DecodeRejectsTrailingGarbage) {
+  AmrIndication msg{sample_ov()};
+  Bytes payload = msg.encode();
+  payload.push_back(0);
+  EXPECT_THROW(AmrIndication::decode(payload), WireError);
+}
+
+TEST(MessagesTest, FragmentPayloadDominatesWireSize) {
+  // Byte accounting sanity: a 25 KiB fragment store is ~25 KiB on the wire.
+  StoreFragmentReq req;
+  req.ov = sample_ov();
+  req.meta = sample_metadata();
+  req.fragment = Bytes(25600, 0xcc);
+  const Bytes payload = req.encode();
+  EXPECT_GT(payload.size(), 25600u);
+  EXPECT_LT(payload.size(), 25600u + 300u);
+}
+
+TEST(MessagesTest, EnvelopeWireSize) {
+  Envelope env{NodeId{1}, NodeId{2}, MessageType::kAmrIndication,
+               Bytes(10, 0)};
+  EXPECT_EQ(env.wire_size(), Envelope::kHeaderBytes + 10);
+}
+
+TEST(MessagesTest, MessageTypeNamesMatchPaperLegends) {
+  EXPECT_STREQ(to_string(MessageType::kDecideLocsReq), "DecideLocsReq");
+  EXPECT_STREQ(to_string(MessageType::kFsDecideLocsReq), "FSDecideLocsReq");
+  EXPECT_STREQ(to_string(MessageType::kAmrIndication), "AMRIndication");
+  EXPECT_STREQ(to_string(MessageType::kKlsConvergeReq), "KLSConvergeReq");
+  EXPECT_STREQ(to_string(MessageType::kFsConvergeRep), "FSConvergeRep");
+  EXPECT_STREQ(to_string(MessageType::kSiblingStoreReq), "SiblingStoreReq");
+}
+
+// Fuzz-ish robustness: random byte strings never crash the decoders; they
+// either parse or throw WireError.
+TEST(MessagesTest, RandomBytesEitherParseOrThrow) {
+  Rng rng(123);
+  for (int trial = 0; trial < 500; ++trial) {
+    Bytes junk(rng.uniform_int(0, 200));
+    for (auto& b : junk) b = static_cast<uint8_t>(rng.next_u64());
+    try {
+      (void)FsConvergeRep::decode(junk);
+    } catch (const WireError&) {
+      // expected for most inputs
+    }
+    try {
+      (void)RetrieveTsRep::decode(junk);
+    } catch (const WireError&) {
+    }
+    try {
+      (void)StoreFragmentReq::decode(junk);
+    } catch (const WireError&) {
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pahoehoe::wire

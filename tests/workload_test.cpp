@@ -1,0 +1,124 @@
+// Unit tests for the client workload driver.
+#include <gtest/gtest.h>
+
+#include "core/workload.h"
+#include "test_util.h"
+
+namespace pahoehoe::core {
+namespace {
+
+using testing::SimCluster;
+using testing::minutes;
+using testing::seconds;
+
+WorkloadConfig small_config(int puts = 5) {
+  WorkloadConfig config;
+  config.num_puts = puts;
+  config.value_size = 2048;
+  return config;
+}
+
+TEST(WorkloadDriverTest, IssuesAllPutsOnSchedule) {
+  SimCluster tc(ConvergenceOptions::all_opts());
+  WorkloadDriver driver(tc.sim, tc.cluster.proxy(0), small_config(), 1);
+  driver.start();
+  tc.run_to_quiescence();
+  EXPECT_EQ(driver.attempts(), 5);
+  EXPECT_EQ(driver.successes(), 5);
+  EXPECT_EQ(driver.failures(), 0);
+  EXPECT_EQ(driver.records().size(), 5u);
+  for (const auto& record : driver.records()) {
+    EXPECT_TRUE(record.acked);
+    EXPECT_EQ(record.attempt, 1);
+  }
+}
+
+TEST(WorkloadDriverTest, SpacingControlsIssueTimes) {
+  SimCluster tc(ConvergenceOptions::all_opts());
+  WorkloadConfig config = small_config(3);
+  config.spacing = seconds(10);
+  WorkloadDriver driver(tc.sim, tc.cluster.proxy(0), config, 1);
+  driver.start();
+  tc.run_for(seconds(1));
+  EXPECT_EQ(driver.records().size(), 1u);  // only the first put completed
+  tc.run_for(seconds(10));
+  EXPECT_EQ(driver.records().size(), 2u);
+  tc.run_to_quiescence();
+  EXPECT_EQ(driver.records().size(), 3u);
+}
+
+TEST(WorkloadDriverTest, ValuesAreDeterministicAndDistinct) {
+  SimCluster tc;
+  WorkloadDriver a(tc.sim, tc.cluster.proxy(0), small_config(), 7);
+  EXPECT_EQ(a.value_for(0), a.value_for(0));
+  EXPECT_NE(a.value_for(0), a.value_for(1));
+  EXPECT_EQ(a.value_for(0).size(), 2048u);
+  // Same seed elsewhere regenerates identical values (used by verifiers).
+  WorkloadDriver b(tc.sim, tc.cluster.proxy(0), small_config(), 7);
+  EXPECT_EQ(a.value_for(3), b.value_for(3));
+  // Different seed, different data.
+  WorkloadDriver c(tc.sim, tc.cluster.proxy(0), small_config(), 8);
+  EXPECT_NE(a.value_for(0), c.value_for(0));
+}
+
+TEST(WorkloadDriverTest, KeysAreStableAndPrefixed) {
+  SimCluster tc;
+  WorkloadConfig config = small_config();
+  config.key_prefix = "photos/";
+  WorkloadDriver driver(tc.sim, tc.cluster.proxy(0), config, 1);
+  EXPECT_EQ(driver.key_for(0).value, "photos/0");
+  EXPECT_EQ(driver.key_for(42).value, "photos/42");
+}
+
+TEST(WorkloadDriverTest, RetriesFailedPutsUntilSuccess) {
+  SimCluster tc(ConvergenceOptions::all_opts());
+  // Down long enough to fail the first attempt of every put, then heal.
+  for (int i = 0; i < 3; ++i) tc.blackout_fs(0, i, 0, seconds(15));
+  WorkloadConfig config = small_config(3);
+  config.retry_failed = true;
+  config.retry_delay = seconds(10);
+  WorkloadDriver driver(tc.sim, tc.cluster.proxy(0), config, 1);
+  driver.start();
+  tc.run_to_quiescence();
+  EXPECT_EQ(driver.successes(), 3);
+  EXPECT_GT(driver.attempts(), 3);  // at least one retry happened
+  // Failed attempts are recorded with their (new) object versions.
+  int failed_records = 0;
+  for (const auto& record : driver.records()) {
+    if (!record.acked) ++failed_records;
+  }
+  EXPECT_EQ(failed_records, driver.attempts() - 3);
+}
+
+TEST(WorkloadDriverTest, MaxAttemptsBoundsRetries) {
+  SimCluster tc(ConvergenceOptions::all_opts());
+  // Permanently unreachable fragment servers: every attempt fails.
+  for (int dc = 0; dc < 2; ++dc) {
+    for (int i = 0; i < 3; ++i) tc.blackout_fs(dc, i, 0, minutes(600));
+  }
+  WorkloadConfig config = small_config(1);
+  config.retry_failed = true;
+  config.retry_delay = seconds(1);
+  config.max_attempts = 4;
+  WorkloadDriver driver(tc.sim, tc.cluster.proxy(0), config, 1);
+  driver.start();
+  tc.run_for(minutes(5));
+  EXPECT_EQ(driver.attempts(), 4);
+  EXPECT_EQ(driver.successes(), 0);
+  EXPECT_EQ(driver.failures(), 4);
+}
+
+TEST(WorkloadDriverTest, NoRetryByDefault) {
+  SimCluster tc(ConvergenceOptions::all_opts());
+  for (int dc = 0; dc < 2; ++dc) {
+    for (int i = 0; i < 3; ++i) tc.blackout_fs(dc, i, 0, minutes(60));
+  }
+  WorkloadDriver driver(tc.sim, tc.cluster.proxy(0), small_config(2), 1);
+  driver.start();
+  tc.run_for(minutes(2));
+  EXPECT_EQ(driver.attempts(), 2);
+  EXPECT_EQ(driver.failures(), 2);
+}
+
+}  // namespace
+}  // namespace pahoehoe::core
