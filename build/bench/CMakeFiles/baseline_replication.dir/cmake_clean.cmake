@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_replication.dir/baseline_replication.cpp.o"
+  "CMakeFiles/baseline_replication.dir/baseline_replication.cpp.o.d"
+  "baseline_replication"
+  "baseline_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

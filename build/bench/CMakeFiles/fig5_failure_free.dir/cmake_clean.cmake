@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_failure_free.dir/fig5_failure_free.cpp.o"
+  "CMakeFiles/fig5_failure_free.dir/fig5_failure_free.cpp.o.d"
+  "fig5_failure_free"
+  "fig5_failure_free.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_failure_free.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

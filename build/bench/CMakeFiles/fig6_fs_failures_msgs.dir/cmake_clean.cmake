@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_fs_failures_msgs.dir/fig6_fs_failures_msgs.cpp.o"
+  "CMakeFiles/fig6_fs_failures_msgs.dir/fig6_fs_failures_msgs.cpp.o.d"
+  "fig6_fs_failures_msgs"
+  "fig6_fs_failures_msgs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_fs_failures_msgs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

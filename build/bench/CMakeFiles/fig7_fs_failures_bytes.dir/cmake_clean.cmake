@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_fs_failures_bytes.dir/fig7_fs_failures_bytes.cpp.o"
+  "CMakeFiles/fig7_fs_failures_bytes.dir/fig7_fs_failures_bytes.cpp.o.d"
+  "fig7_fs_failures_bytes"
+  "fig7_fs_failures_bytes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_fs_failures_bytes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

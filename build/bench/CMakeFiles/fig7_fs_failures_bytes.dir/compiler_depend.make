@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7_fs_failures_bytes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_kls_failures_bytes.dir/fig8_kls_failures_bytes.cpp.o"
+  "CMakeFiles/fig8_kls_failures_bytes.dir/fig8_kls_failures_bytes.cpp.o.d"
+  "fig8_kls_failures_bytes"
+  "fig8_kls_failures_bytes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_kls_failures_bytes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8_kls_failures_bytes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_lossy_network.dir/fig9_lossy_network.cpp.o"
+  "CMakeFiles/fig9_lossy_network.dir/fig9_lossy_network.cpp.o.d"
+  "fig9_lossy_network"
+  "fig9_lossy_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_lossy_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_erasure.dir/micro_erasure.cpp.o"
+  "CMakeFiles/micro_erasure.dir/micro_erasure.cpp.o.d"
+  "micro_erasure"
+  "micro_erasure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_erasure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

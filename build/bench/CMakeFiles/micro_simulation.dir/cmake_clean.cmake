@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_simulation.dir/micro_simulation.cpp.o"
+  "CMakeFiles/micro_simulation.dir/micro_simulation.cpp.o.d"
+  "micro_simulation"
+  "micro_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lossy_clients.dir/lossy_clients.cpp.o"
+  "CMakeFiles/lossy_clients.dir/lossy_clients.cpp.o.d"
+  "lossy_clients"
+  "lossy_clients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lossy_clients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/photo_archive.dir/photo_archive.cpp.o"
+  "CMakeFiles/photo_archive.dir/photo_archive.cpp.o.d"
+  "photo_archive"
+  "photo_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/photo_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

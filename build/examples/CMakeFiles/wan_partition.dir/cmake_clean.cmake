@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_partition.dir/wan_partition.cpp.o"
+  "CMakeFiles/wan_partition.dir/wan_partition.cpp.o.d"
+  "wan_partition"
+  "wan_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pahoehoe_common.dir/flags.cpp.o"
+  "CMakeFiles/pahoehoe_common.dir/flags.cpp.o.d"
+  "CMakeFiles/pahoehoe_common.dir/sha256.cpp.o"
+  "CMakeFiles/pahoehoe_common.dir/sha256.cpp.o.d"
+  "CMakeFiles/pahoehoe_common.dir/stats.cpp.o"
+  "CMakeFiles/pahoehoe_common.dir/stats.cpp.o.d"
+  "CMakeFiles/pahoehoe_common.dir/types.cpp.o"
+  "CMakeFiles/pahoehoe_common.dir/types.cpp.o.d"
+  "libpahoehoe_common.a"
+  "libpahoehoe_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pahoehoe_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

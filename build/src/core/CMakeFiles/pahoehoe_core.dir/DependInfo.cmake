@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cluster.cpp" "src/core/CMakeFiles/pahoehoe_core.dir/cluster.cpp.o" "gcc" "src/core/CMakeFiles/pahoehoe_core.dir/cluster.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/core/CMakeFiles/pahoehoe_core.dir/config.cpp.o" "gcc" "src/core/CMakeFiles/pahoehoe_core.dir/config.cpp.o.d"
+  "/root/repo/src/core/fs.cpp" "src/core/CMakeFiles/pahoehoe_core.dir/fs.cpp.o" "gcc" "src/core/CMakeFiles/pahoehoe_core.dir/fs.cpp.o.d"
+  "/root/repo/src/core/harness.cpp" "src/core/CMakeFiles/pahoehoe_core.dir/harness.cpp.o" "gcc" "src/core/CMakeFiles/pahoehoe_core.dir/harness.cpp.o.d"
+  "/root/repo/src/core/kls.cpp" "src/core/CMakeFiles/pahoehoe_core.dir/kls.cpp.o" "gcc" "src/core/CMakeFiles/pahoehoe_core.dir/kls.cpp.o.d"
+  "/root/repo/src/core/placement.cpp" "src/core/CMakeFiles/pahoehoe_core.dir/placement.cpp.o" "gcc" "src/core/CMakeFiles/pahoehoe_core.dir/placement.cpp.o.d"
+  "/root/repo/src/core/proxy.cpp" "src/core/CMakeFiles/pahoehoe_core.dir/proxy.cpp.o" "gcc" "src/core/CMakeFiles/pahoehoe_core.dir/proxy.cpp.o.d"
+  "/root/repo/src/core/workload.cpp" "src/core/CMakeFiles/pahoehoe_core.dir/workload.cpp.o" "gcc" "src/core/CMakeFiles/pahoehoe_core.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pahoehoe_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/erasure/CMakeFiles/pahoehoe_erasure.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/pahoehoe_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pahoehoe_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pahoehoe_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/pahoehoe_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

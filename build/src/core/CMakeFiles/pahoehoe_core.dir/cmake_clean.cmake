@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pahoehoe_core.dir/cluster.cpp.o"
+  "CMakeFiles/pahoehoe_core.dir/cluster.cpp.o.d"
+  "CMakeFiles/pahoehoe_core.dir/config.cpp.o"
+  "CMakeFiles/pahoehoe_core.dir/config.cpp.o.d"
+  "CMakeFiles/pahoehoe_core.dir/fs.cpp.o"
+  "CMakeFiles/pahoehoe_core.dir/fs.cpp.o.d"
+  "CMakeFiles/pahoehoe_core.dir/harness.cpp.o"
+  "CMakeFiles/pahoehoe_core.dir/harness.cpp.o.d"
+  "CMakeFiles/pahoehoe_core.dir/kls.cpp.o"
+  "CMakeFiles/pahoehoe_core.dir/kls.cpp.o.d"
+  "CMakeFiles/pahoehoe_core.dir/placement.cpp.o"
+  "CMakeFiles/pahoehoe_core.dir/placement.cpp.o.d"
+  "CMakeFiles/pahoehoe_core.dir/proxy.cpp.o"
+  "CMakeFiles/pahoehoe_core.dir/proxy.cpp.o.d"
+  "CMakeFiles/pahoehoe_core.dir/workload.cpp.o"
+  "CMakeFiles/pahoehoe_core.dir/workload.cpp.o.d"
+  "libpahoehoe_core.a"
+  "libpahoehoe_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pahoehoe_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpahoehoe_core.a"
+)

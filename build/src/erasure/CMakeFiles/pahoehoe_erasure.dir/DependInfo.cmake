@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/erasure/gf256.cpp" "src/erasure/CMakeFiles/pahoehoe_erasure.dir/gf256.cpp.o" "gcc" "src/erasure/CMakeFiles/pahoehoe_erasure.dir/gf256.cpp.o.d"
+  "/root/repo/src/erasure/matrix.cpp" "src/erasure/CMakeFiles/pahoehoe_erasure.dir/matrix.cpp.o" "gcc" "src/erasure/CMakeFiles/pahoehoe_erasure.dir/matrix.cpp.o.d"
+  "/root/repo/src/erasure/reed_solomon.cpp" "src/erasure/CMakeFiles/pahoehoe_erasure.dir/reed_solomon.cpp.o" "gcc" "src/erasure/CMakeFiles/pahoehoe_erasure.dir/reed_solomon.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pahoehoe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

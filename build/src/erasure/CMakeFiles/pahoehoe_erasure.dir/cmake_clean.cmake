@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pahoehoe_erasure.dir/gf256.cpp.o"
+  "CMakeFiles/pahoehoe_erasure.dir/gf256.cpp.o.d"
+  "CMakeFiles/pahoehoe_erasure.dir/matrix.cpp.o"
+  "CMakeFiles/pahoehoe_erasure.dir/matrix.cpp.o.d"
+  "CMakeFiles/pahoehoe_erasure.dir/reed_solomon.cpp.o"
+  "CMakeFiles/pahoehoe_erasure.dir/reed_solomon.cpp.o.d"
+  "libpahoehoe_erasure.a"
+  "libpahoehoe_erasure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pahoehoe_erasure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

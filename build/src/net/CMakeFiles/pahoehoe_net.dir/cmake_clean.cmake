@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pahoehoe_net.dir/network.cpp.o"
+  "CMakeFiles/pahoehoe_net.dir/network.cpp.o.d"
+  "CMakeFiles/pahoehoe_net.dir/trace.cpp.o"
+  "CMakeFiles/pahoehoe_net.dir/trace.cpp.o.d"
+  "libpahoehoe_net.a"
+  "libpahoehoe_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pahoehoe_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

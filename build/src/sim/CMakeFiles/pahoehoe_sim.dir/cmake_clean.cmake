@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pahoehoe_sim.dir/simulator.cpp.o"
+  "CMakeFiles/pahoehoe_sim.dir/simulator.cpp.o.d"
+  "libpahoehoe_sim.a"
+  "libpahoehoe_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pahoehoe_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pahoehoe_storage.dir/stores.cpp.o"
+  "CMakeFiles/pahoehoe_storage.dir/stores.cpp.o.d"
+  "libpahoehoe_storage.a"
+  "libpahoehoe_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pahoehoe_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pahoehoe_wire.dir/messages.cpp.o"
+  "CMakeFiles/pahoehoe_wire.dir/messages.cpp.o.d"
+  "CMakeFiles/pahoehoe_wire.dir/serde.cpp.o"
+  "CMakeFiles/pahoehoe_wire.dir/serde.cpp.o.d"
+  "libpahoehoe_wire.a"
+  "libpahoehoe_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pahoehoe_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

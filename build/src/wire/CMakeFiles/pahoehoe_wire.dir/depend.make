@@ -1,0 +1,2 @@
+# Empty dependencies file for pahoehoe_wire.
+# This may be replaced when dependencies are built.

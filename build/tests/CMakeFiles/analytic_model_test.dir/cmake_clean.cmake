@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytic_model_test.dir/analytic_model_test.cpp.o"
+  "CMakeFiles/analytic_model_test.dir/analytic_model_test.cpp.o.d"
+  "analytic_model_test"
+  "analytic_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytic_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

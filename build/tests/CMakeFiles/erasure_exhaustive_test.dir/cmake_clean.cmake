@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erasure_exhaustive_test.dir/erasure_exhaustive_test.cpp.o"
+  "CMakeFiles/erasure_exhaustive_test.dir/erasure_exhaustive_test.cpp.o.d"
+  "erasure_exhaustive_test"
+  "erasure_exhaustive_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erasure_exhaustive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erasure_test.dir/erasure_test.cpp.o"
+  "CMakeFiles/erasure_test.dir/erasure_test.cpp.o.d"
+  "erasure_test"
+  "erasure_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erasure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

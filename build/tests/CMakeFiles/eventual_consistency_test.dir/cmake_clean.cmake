@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eventual_consistency_test.dir/eventual_consistency_test.cpp.o"
+  "CMakeFiles/eventual_consistency_test.dir/eventual_consistency_test.cpp.o.d"
+  "eventual_consistency_test"
+  "eventual_consistency_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eventual_consistency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

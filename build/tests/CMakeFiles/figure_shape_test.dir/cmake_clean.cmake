@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure_shape_test.dir/figure_shape_test.cpp.o"
+  "CMakeFiles/figure_shape_test.dir/figure_shape_test.cpp.o.d"
+  "figure_shape_test"
+  "figure_shape_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure_shape_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_test.dir/fs_test.cpp.o"
+  "CMakeFiles/fs_test.dir/fs_test.cpp.o.d"
+  "fs_test"
+  "fs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

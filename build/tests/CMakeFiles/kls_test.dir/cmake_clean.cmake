@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kls_test.dir/kls_test.cpp.o"
+  "CMakeFiles/kls_test.dir/kls_test.cpp.o.d"
+  "kls_test"
+  "kls_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kls_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/put_get_test.dir/put_get_test.cpp.o"
+  "CMakeFiles/put_get_test.dir/put_get_test.cpp.o.d"
+  "put_get_test"
+  "put_get_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/put_get_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

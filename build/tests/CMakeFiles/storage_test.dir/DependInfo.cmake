@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/storage_test.cpp" "tests/CMakeFiles/storage_test.dir/storage_test.cpp.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pahoehoe_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/erasure/CMakeFiles/pahoehoe_erasure.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pahoehoe_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/pahoehoe_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pahoehoe_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/pahoehoe_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pahoehoe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
