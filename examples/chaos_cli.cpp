@@ -1,0 +1,71 @@
+// Chaos sweep runner: N seeds of randomized fault schedules through the
+// invariant auditor. Any failing seed is shrunk to a minimal repro that
+// prints as a ready-to-paste FaultSpec list.
+//
+// Examples:
+//   ./build/examples/chaos_cli --seeds=50
+//   ./build/examples/chaos_cli --seeds=200 --intensity=2.0
+//   ./build/examples/chaos_cli --seeds=20 --scrub=false   (expect failures:
+//       silent corruption is never repaired without scrubbing)
+#include <cstdio>
+
+#include "chaos/sweep.h"
+#include "common/flags.h"
+
+using namespace pahoehoe;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+
+  chaos::SweepOptions sweep;
+  sweep.seeds = static_cast<int>(flags.get_int("seeds", 50, "seeds to run"));
+  sweep.base_seed =
+      static_cast<uint64_t>(flags.get_int("base-seed", 1, "first seed"));
+  sweep.schedule.intensity = flags.get_double(
+      "intensity", 1.0, "fault count scale (~6 faults at 1.0)");
+  sweep.schedule.corruption =
+      flags.get_bool("corruption", true, "inject silent frag corruption");
+  sweep.schedule.crashes =
+      flags.get_bool("crashes", true, "inject FS/KLS crash-recover");
+  sweep.schedule.proxy_crashes =
+      flags.get_bool("proxy-crashes", true, "inject proxy crashes");
+  sweep.schedule.partitions =
+      flags.get_bool("partitions", true, "inject DC partitions");
+  sweep.schedule.loss = flags.get_bool("loss", true, "inject iid loss");
+  sweep.schedule.blackouts =
+      flags.get_bool("blackouts", true, "inject node blackouts");
+  sweep.schedule.duplication =
+      flags.get_bool("duplication", true, "inject duplication bursts");
+  sweep.shrink_failures =
+      flags.get_bool("shrink", true, "shrink failing schedules");
+  sweep.shrink.max_runs = static_cast<int>(
+      flags.get_int("shrink-runs", 400, "re-run budget per shrink"));
+
+  core::RunConfig config = chaos::chaos_default_config();
+  const bool scrub = flags.get_bool(
+      "scrub", true, "periodic scrub-and-repair (off: corruption sticks)");
+  if (!scrub) config.convergence.scrub_interval = 0;
+  config.workload.num_puts = static_cast<int>(
+      flags.get_int("puts", config.workload.num_puts, "objects to store"));
+  flags.finish();
+
+  const bool verbose = sweep.seeds <= 100;
+  sweep.on_seed = [verbose](const chaos::SeedOutcome& outcome) {
+    if (outcome.passed) {
+      if (verbose) {
+        std::printf("seed %llu ok (%zu faults)\n",
+                    static_cast<unsigned long long>(outcome.seed),
+                    outcome.schedule.size());
+      }
+    } else {
+      std::printf("seed %llu FAILED (%zu faults)\n",
+                  static_cast<unsigned long long>(outcome.seed),
+                  outcome.schedule.size());
+    }
+    std::fflush(stdout);
+  };
+
+  chaos::SweepResult result = chaos::run_sweep(config, sweep);
+  std::printf("\n%s", result.summary().c_str());
+  return result.passed() ? 0 : 1;
+}

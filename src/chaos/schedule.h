@@ -1,0 +1,69 @@
+// Randomized fault-schedule generation (the chaos sweep's front half).
+//
+// A schedule is an ordinary std::vector<core::FaultSpec>, so anything the
+// generator produces can be pasted back into a RunConfig verbatim — the
+// shrinker's minimal repros print as compilable FaultSpec factory calls.
+// Schedules compose every fault kind the harness knows: blackouts,
+// partitions, iid loss, crash-recover (FS/KLS/proxy), silent fragment
+// corruption, and duplication bursts. Generation is a pure function of
+// (seed, topology, options); the same inputs always yield the same
+// schedule, which is what makes sweeps and shrinking reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/harness.h"
+
+namespace pahoehoe::chaos {
+
+/// Knobs for the random schedule generator. `intensity` scales the number
+/// of faults injected; the family switches let a sweep target one failure
+/// mode (e.g. corruption only) without changing the schedule shape of the
+/// families that stay enabled.
+struct ScheduleOptions {
+  double intensity = 1.0;  ///< ~6 faults at 1.0, scaled linearly
+
+  /// Every fault starts within [0, fault_horizon); windowed faults run at
+  /// most max_window past their start. Keep the horizon well short of the
+  /// run's max_sim_time so convergence has quiet time to finish.
+  SimTime fault_horizon = 30LL * 60 * kMicrosPerSecond;
+  SimTime min_window = 30LL * kMicrosPerSecond;
+  SimTime max_window = 10LL * 60 * kMicrosPerSecond;
+  double max_loss_rate = 0.20;         ///< whole-run iid loss cap
+  double max_duplication_rate = 0.50;  ///< duplication-burst cap
+
+  // Fault-family switches.
+  bool blackouts = true;
+  bool partitions = true;
+  bool loss = true;
+  bool crashes = true;       ///< FS and KLS crash-recover
+  bool corruption = true;    ///< silent fragment corruption
+  bool proxy_crashes = true;
+  bool duplication = true;
+};
+
+/// Compose a random fault schedule for `topology`. Deterministic in
+/// (seed, topology, options).
+std::vector<core::FaultSpec> generate_schedule(
+    uint64_t seed, const core::ClusterTopology& topology,
+    const ScheduleOptions& options = {});
+
+/// Binary serialization of a schedule (shrinker repro files, fuzz tests).
+/// decode throws wire::WireError on truncated or malformed input.
+Bytes encode_schedule(const std::vector<core::FaultSpec>& schedule);
+std::vector<core::FaultSpec> decode_schedule(const Bytes& data);
+
+/// Ready-to-paste C++ initializer for RunConfig::faults.
+std::string format_repro(const std::vector<core::FaultSpec>& schedule);
+
+/// RunConfig tuned for chaos sweeps: the paper topology with a small, fast
+/// workload (25 puts of 16 KiB with retries, client-side timeouts, and
+/// read-back verification), all convergence optimizations, periodic
+/// scrubbing so corruption gets repaired, a give-up age of two hours so
+/// hopeless versions leave the work-lists inside the 12-hour horizon, and
+/// event/message budgets armed.
+core::RunConfig chaos_default_config();
+
+}  // namespace pahoehoe::chaos

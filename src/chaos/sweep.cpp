@@ -1,0 +1,69 @@
+#include "chaos/sweep.h"
+
+#include <cstdio>
+
+namespace pahoehoe::chaos {
+
+std::string SweepResult::summary() const {
+  char line[128];
+  std::snprintf(line, sizeof(line),
+                "chaos sweep: %zu seeds, %d failures, %d runs\n",
+                outcomes.size(), failures, runs);
+  std::string out = line;
+  for (const SeedOutcome& outcome : outcomes) {
+    if (outcome.passed) continue;
+    std::snprintf(line, sizeof(line),
+                  "seed %llu FAILED (%zu faults, shrunk to %zu):\n",
+                  static_cast<unsigned long long>(outcome.seed),
+                  outcome.schedule.size(), outcome.shrunk.size());
+    out += line;
+    out += outcome.audit.to_string();
+    if (!outcome.shrunk.empty()) {
+      out += "minimal repro (seed ";
+      out += std::to_string(outcome.seed);
+      out += "):\n";
+      out += format_repro(outcome.shrunk);
+    }
+  }
+  return out;
+}
+
+SweepResult run_sweep(core::RunConfig config, const SweepOptions& options) {
+  const std::vector<core::FaultSpec> base_faults = config.faults;
+
+  SweepResult result;
+  for (int i = 0; i < options.seeds; ++i) {
+    SeedOutcome outcome;
+    outcome.seed = options.base_seed + static_cast<uint64_t>(i);
+
+    outcome.schedule = base_faults;
+    std::vector<core::FaultSpec> generated =
+        generate_schedule(outcome.seed, config.topology, options.schedule);
+    outcome.schedule.insert(outcome.schedule.end(), generated.begin(),
+                            generated.end());
+
+    config.seed = outcome.seed;
+    config.faults = outcome.schedule;
+    core::RunResult run = core::run_experiment(config);
+    ++result.runs;
+    outcome.audit = run.audit;
+    outcome.passed = run.audit.passed();
+
+    if (!outcome.passed) {
+      ++result.failures;
+      if (options.shrink_failures) {
+        ShrinkResult shrunk =
+            shrink_schedule(config, outcome.schedule, options.shrink);
+        outcome.shrunk = std::move(shrunk.schedule);
+        outcome.shrink_runs = shrunk.runs;
+        result.runs += shrunk.runs;
+      }
+    }
+
+    if (options.on_seed) options.on_seed(outcome);
+    result.outcomes.push_back(std::move(outcome));
+  }
+  return result;
+}
+
+}  // namespace pahoehoe::chaos

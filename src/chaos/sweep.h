@@ -1,0 +1,51 @@
+// Chaos sweep driver: run N seeds of randomized fault schedules through the
+// invariant auditor, and shrink any failing schedule to a minimal repro.
+#pragma once
+
+#include <functional>
+
+#include "chaos/schedule.h"
+#include "chaos/shrink.h"
+#include "core/harness.h"
+
+namespace pahoehoe::chaos {
+
+struct SweepOptions {
+  int seeds = 50;
+  uint64_t base_seed = 1;
+  ScheduleOptions schedule;
+  bool shrink_failures = true;
+  ShrinkOptions shrink;
+  /// Progress hook, called after each seed completes (may be empty).
+  std::function<void(const struct SeedOutcome&)> on_seed;
+};
+
+/// What happened under one seed.
+struct SeedOutcome {
+  uint64_t seed = 0;
+  bool passed = false;
+  std::vector<core::FaultSpec> schedule;  ///< as generated
+  core::AuditReport audit;                ///< of the full schedule
+  /// Filled only for failures when shrink_failures is set.
+  std::vector<core::FaultSpec> shrunk;
+  int shrink_runs = 0;
+};
+
+struct SweepResult {
+  int runs = 0;
+  int failures = 0;
+  std::vector<SeedOutcome> outcomes;  ///< one per seed, in seed order
+
+  bool passed() const { return failures == 0; }
+  /// Short human-readable summary; failing seeds include the shrunk repro.
+  std::string summary() const;
+};
+
+/// Run the sweep: for seed s in [base_seed, base_seed + seeds), generate a
+/// schedule, append it to config.faults, run, audit. `config` supplies
+/// everything but the seed and the generated faults; faults already present
+/// in config.faults run in every seed and are shrunk together with the
+/// generated ones when a seed fails.
+SweepResult run_sweep(core::RunConfig config, const SweepOptions& options);
+
+}  // namespace pahoehoe::chaos

@@ -709,6 +709,20 @@ bool FragmentServer::corrupt_fragment(const ObjectVersionId& ov,
   return store_frag_.corrupt_fragment(ov, frag_index);
 }
 
+bool FragmentServer::corrupt_random_fragment(Rng& rng) {
+  std::vector<std::pair<ObjectVersionId, int>> stored;
+  for (const ObjectVersionId& ov : store_frag_.all_versions()) {
+    const storage::FragStore::Entry* entry = store_frag_.find(ov);
+    for (const auto& [index, frag] : entry->fragments) {
+      if (!frag.data.empty()) stored.emplace_back(ov, index);
+    }
+  }
+  if (stored.empty()) return false;
+  const auto& [ov, index] = stored[static_cast<size_t>(
+      rng.uniform_int(0, static_cast<int64_t>(stored.size()) - 1))];
+  return store_frag_.corrupt_fragment(ov, index);
+}
+
 void FragmentServer::schedule_scrub() {
   if (options_.scrub_interval <= 0 || crashed()) return;
   // Jittered so sibling scrubs do not synchronize.
@@ -727,6 +741,10 @@ size_t FragmentServer::scrub() {
   size_t readded = 0;
   for (const ObjectVersionId& ov : store_frag_.all_versions()) {
     if (store_meta_.contains(ov)) continue;
+    // Honor the give-up horizon (§3.5): resurrecting a version convergence
+    // already gave up on would livelock scrub against give-up. Past the
+    // horizon, damaged versions are left to the (elided) disk rebuild.
+    if (version_age(ov) > options_.giveup_age) continue;
     const storage::FragStore::Entry* entry = store_frag_.find(ov);
     bool damaged = false;
     for (int slot : entry->meta.fragments_for(id())) {

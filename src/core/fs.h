@@ -46,6 +46,9 @@ class FragmentServer : public Server {
   /// damaged fragments read as ⊥ until convergence repairs them.
   size_t destroy_disk(uint8_t disk);
   bool corrupt_fragment(const ObjectVersionId& ov, int frag_index);
+  /// Flip a byte of one uniformly chosen stored fragment (chaos schedules'
+  /// silent-corruption fault). Returns false if nothing is stored yet.
+  bool corrupt_random_fragment(Rng& rng);
   /// Re-add every version with damaged or missing local fragments to the
   /// convergence work-list (models the elided disk-rebuild scrub). Also
   /// runs periodically when ConvergenceOptions::scrub_interval is set.

@@ -1,5 +1,6 @@
 #include "core/harness.h"
 
+#include <cstdio>
 #include <set>
 #include <unordered_set>
 
@@ -56,6 +57,125 @@ FaultSpec FaultSpec::kls_crash(int dc, int index, SimTime start,
   return spec;
 }
 
+FaultSpec FaultSpec::frag_corrupt(int dc, int index, SimTime at) {
+  FaultSpec spec;
+  spec.kind = Kind::kFragCorrupt;
+  spec.dc = dc;
+  spec.index_in_dc = index;
+  spec.start = at;
+  spec.end = at;
+  return spec;
+}
+
+FaultSpec FaultSpec::proxy_crash(int index, SimTime start, SimTime end) {
+  FaultSpec spec;
+  spec.kind = Kind::kProxyCrash;
+  spec.index_in_dc = index;
+  spec.start = start;
+  spec.end = end;
+  return spec;
+}
+
+FaultSpec FaultSpec::duplication_burst(double rate, SimTime start,
+                                       SimTime end) {
+  FaultSpec spec;
+  spec.kind = Kind::kDuplicationBurst;
+  spec.rate = rate;
+  spec.start = start;
+  spec.end = end;
+  return spec;
+}
+
+std::string to_repro_string(const FaultSpec& spec) {
+  char buf[160];
+  const auto ll = [](SimTime t) { return static_cast<long long>(t); };
+  switch (spec.kind) {
+    case FaultSpec::Kind::kFsBlackout:
+      std::snprintf(buf, sizeof(buf),
+                    "core::FaultSpec::fs_blackout(%d, %d, %lld, %lld)",
+                    spec.dc, spec.index_in_dc, ll(spec.start), ll(spec.end));
+      break;
+    case FaultSpec::Kind::kKlsBlackout:
+      std::snprintf(buf, sizeof(buf),
+                    "core::FaultSpec::kls_blackout(%d, %d, %lld, %lld)",
+                    spec.dc, spec.index_in_dc, ll(spec.start), ll(spec.end));
+      break;
+    case FaultSpec::Kind::kDcPartition:
+      std::snprintf(buf, sizeof(buf),
+                    "core::FaultSpec::dc_partition(%d, %lld, %lld)", spec.dc,
+                    ll(spec.start), ll(spec.end));
+      break;
+    case FaultSpec::Kind::kUniformLoss:
+      std::snprintf(buf, sizeof(buf), "core::FaultSpec::uniform_loss(%.6f)",
+                    spec.rate);
+      break;
+    case FaultSpec::Kind::kFsCrash:
+      std::snprintf(buf, sizeof(buf),
+                    "core::FaultSpec::fs_crash(%d, %d, %lld, %lld)", spec.dc,
+                    spec.index_in_dc, ll(spec.start), ll(spec.end));
+      break;
+    case FaultSpec::Kind::kKlsCrash:
+      std::snprintf(buf, sizeof(buf),
+                    "core::FaultSpec::kls_crash(%d, %d, %lld, %lld)", spec.dc,
+                    spec.index_in_dc, ll(spec.start), ll(spec.end));
+      break;
+    case FaultSpec::Kind::kFragCorrupt:
+      std::snprintf(buf, sizeof(buf),
+                    "core::FaultSpec::frag_corrupt(%d, %d, %lld)", spec.dc,
+                    spec.index_in_dc, ll(spec.start));
+      break;
+    case FaultSpec::Kind::kProxyCrash:
+      std::snprintf(buf, sizeof(buf),
+                    "core::FaultSpec::proxy_crash(%d, %lld, %lld)",
+                    spec.index_in_dc, ll(spec.start), ll(spec.end));
+      break;
+    case FaultSpec::Kind::kDuplicationBurst:
+      std::snprintf(buf, sizeof(buf),
+                    "core::FaultSpec::duplication_burst(%.6f, %lld, %lld)",
+                    spec.rate, ll(spec.start), ll(spec.end));
+      break;
+  }
+  return buf;
+}
+
+const char* to_string(InvariantViolation::Kind kind) {
+  switch (kind) {
+    case InvariantViolation::Kind::kAckedNonDurable:
+      return "acked-non-durable";
+    case InvariantViolation::Kind::kAckedNotAmr:
+      return "acked-not-AMR";
+    case InvariantViolation::Kind::kDurableNotAmr:
+      return "durable-not-AMR";
+    case InvariantViolation::Kind::kGetValueMismatch:
+      return "get-value-mismatch";
+    case InvariantViolation::Kind::kNotQuiescent:
+      return "not-quiescent";
+    case InvariantViolation::Kind::kEventBudget:
+      return "event-budget";
+    case InvariantViolation::Kind::kMessageBudget:
+      return "message-budget";
+  }
+  return "?";
+}
+
+std::string AuditReport::to_string() const {
+  if (violations.empty()) return "all invariants held";
+  std::string out;
+  for (const InvariantViolation& v : violations) {
+    out += pahoehoe::core::to_string(v.kind);
+    if (v.ov.ts.valid()) {
+      out += ' ';
+      out += pahoehoe::to_string(v.ov);
+    }
+    if (!v.detail.empty()) {
+      out += ": ";
+      out += v.detail;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
 namespace {
 
 void install_crash(Server& server, sim::Simulator& sim, SimTime start,
@@ -104,6 +224,23 @@ void install_fault(const FaultSpec& spec, Cluster& cluster,
       install_crash(cluster.kls(spec.dc, spec.index_in_dc), sim, spec.start,
                     spec.end);
       break;
+    case FaultSpec::Kind::kFragCorrupt: {
+      FragmentServer& fs = cluster.fs(spec.dc, spec.index_in_dc);
+      sim.schedule_at(spec.start, [&fs, &sim] {
+        fs.corrupt_random_fragment(sim.rng());
+      });
+      break;
+    }
+    case FaultSpec::Kind::kProxyCrash:
+      install_crash(cluster.proxy(spec.index_in_dc), sim, spec.start,
+                    spec.end);
+      break;
+    case FaultSpec::Kind::kDuplicationBurst:
+      sim.schedule_at(spec.start, [&net, rate = spec.rate] {
+        net.set_duplication_rate(rate);
+      });
+      sim.schedule_at(spec.end, [&net] { net.reset_duplication_rate(); });
+      break;
   }
 }
 
@@ -134,9 +271,12 @@ RunResult run_experiment(const RunConfig& config) {
 
   std::set<ObjectVersionId> seen;
   for (const PutRecord& record : driver.records()) {
+    // Client-timeout records carry no version id (the proxy never answered).
+    if (!record.ov.ts.valid()) continue;
     if (!seen.insert(record.ov).second) continue;
     ++result.versions_total;
-    switch (cluster.classify(record.ov)) {
+    const VersionStatus status = cluster.classify(record.ov);
+    switch (status) {
       case VersionStatus::kAmr:
         ++result.amr;
         if (!record.acked) ++result.excess_amr;
@@ -148,7 +288,68 @@ RunResult run_experiment(const RunConfig& config) {
         ++result.non_durable;
         break;
     }
+    // --- invariant auditor: per-version safety checks ---------------------
+    if (record.acked && status == VersionStatus::kNonDurable) {
+      result.audit.violations.push_back(
+          {InvariantViolation::Kind::kAckedNonDurable, record.ov,
+           "client-acked put has fewer than k intact fragments"});
+    } else if (record.acked && status == VersionStatus::kDurableNotAmr) {
+      result.audit.violations.push_back(
+          {InvariantViolation::Kind::kAckedNotAmr, record.ov,
+           "client-acked put never reached AMR"});
+    } else if (status == VersionStatus::kDurableNotAmr) {
+      result.audit.violations.push_back(
+          {InvariantViolation::Kind::kDurableNotAmr, record.ov,
+           "durable version stuck short of AMR at quiescence"});
+    }
   }
+
+  for (const GetRecord& record : driver.get_records()) {
+    ++result.gets_attempted;
+    if (!record.completed) continue;
+    ++result.gets_ok;
+    if (!record.matched) {
+      ++result.gets_mismatched;
+      char detail[96];
+      std::snprintf(detail, sizeof(detail),
+                    "get of object %d returned bytes that differ from the put",
+                    record.object_index);
+      result.audit.violations.push_back(
+          {InvariantViolation::Kind::kGetValueMismatch,
+           ObjectVersionId{driver.key_for(record.object_index), record.ts},
+           detail});
+    }
+  }
+
+  // --- invariant auditor: run-global liveness checks ------------------------
+  if (!result.quiescent) {
+    char detail[96];
+    std::snprintf(detail, sizeof(detail),
+                  "%zu work-list entries still pending at the horizon",
+                  cluster.total_pending_versions());
+    result.audit.violations.push_back(
+        {InvariantViolation::Kind::kNotQuiescent, ObjectVersionId{}, detail});
+  }
+  if (config.event_budget > 0 && result.events > config.event_budget) {
+    char detail[96];
+    std::snprintf(detail, sizeof(detail), "%llu events executed, budget %llu",
+                  static_cast<unsigned long long>(result.events),
+                  static_cast<unsigned long long>(config.event_budget));
+    result.audit.violations.push_back(
+        {InvariantViolation::Kind::kEventBudget, ObjectVersionId{}, detail});
+  }
+  if (config.message_budget > 0 &&
+      result.stats.total_sent_count() > config.message_budget) {
+    char detail[96];
+    std::snprintf(detail, sizeof(detail), "%llu messages sent, budget %llu",
+                  static_cast<unsigned long long>(
+                      result.stats.total_sent_count()),
+                  static_cast<unsigned long long>(config.message_budget));
+    result.audit.violations.push_back(
+        {InvariantViolation::Kind::kMessageBudget, ObjectVersionId{},
+         detail});
+  }
+
   for (int i = 0; i < cluster.num_fs(); ++i) {
     result.given_up += static_cast<int>(cluster.fs(i).versions_given_up());
   }

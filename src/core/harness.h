@@ -26,7 +26,14 @@ struct FaultSpec {
     kFsCrash,      ///< crash FS (dc, index) at `start`, recover at `end`
                    ///< (volatile state lost; stable storage survives)
     kKlsCrash,     ///< same for a KLS
+    kFragCorrupt,  ///< at `start`, flip a byte of one uniformly chosen
+                   ///< stored fragment on FS (dc, index) — silent corruption
+    kProxyCrash,   ///< crash proxy `index_in_dc` (global index) at `start`,
+                   ///< recover at `end`; in-flight client ops are lost
+    kDuplicationBurst,  ///< raise the network duplication rate to `rate`
+                        ///< during [start, end)
   };
+  static constexpr int kKindCount = 9;
 
   Kind kind = Kind::kUniformLoss;
   int dc = 0;
@@ -42,7 +49,16 @@ struct FaultSpec {
   static FaultSpec uniform_loss(double rate);
   static FaultSpec fs_crash(int dc, int index, SimTime start, SimTime end);
   static FaultSpec kls_crash(int dc, int index, SimTime start, SimTime end);
+  static FaultSpec frag_corrupt(int dc, int index, SimTime at);
+  static FaultSpec proxy_crash(int index, SimTime start, SimTime end);
+  static FaultSpec duplication_burst(double rate, SimTime start, SimTime end);
+
+  friend bool operator==(const FaultSpec&, const FaultSpec&) = default;
 };
+
+/// One-line human-readable description, also valid C++ for pasting into a
+/// RunConfig's fault list (the shrinker's repro output).
+std::string to_repro_string(const FaultSpec& spec);
 
 struct RunConfig {
   ClusterTopology topology;
@@ -54,6 +70,40 @@ struct RunConfig {
   uint64_t seed = 1;
   /// Hard stop; generous enough for the two-month give-up horizon.
   SimTime max_sim_time = 200LL * 24 * 3600 * kMicrosPerSecond;
+  /// Liveness budgets audited at the end of the run; 0 disables the check.
+  /// A run that blows a budget fails the audit even if it converged —
+  /// convergence must be cheap as well as eventual.
+  uint64_t event_budget = 0;    ///< simulator events executed
+  uint64_t message_budget = 0;  ///< network messages sent
+};
+
+/// One broken invariant, attributed to an object version where applicable.
+struct InvariantViolation {
+  enum class Kind {
+    kAckedNonDurable,   ///< a client-acked put ended with < k intact frags
+    kAckedNotAmr,       ///< a client-acked put was durable but never AMR
+    kDurableNotAmr,     ///< a durable version (acked or not) stuck non-AMR
+    kGetValueMismatch,  ///< a completed get returned bytes != what was put
+    kNotQuiescent,      ///< convergence work still pending at the horizon
+    kEventBudget,       ///< simulator executed more events than budgeted
+    kMessageBudget,     ///< network sent more messages than budgeted
+  };
+
+  Kind kind;
+  ObjectVersionId ov;  ///< zero-initialized for run-global violations
+  std::string detail;
+};
+
+const char* to_string(InvariantViolation::Kind kind);
+
+/// Machine-checkable verdict of one run: empty == every audited invariant
+/// held (the paper's convergence claim plus read-your-writes integrity).
+struct AuditReport {
+  std::vector<InvariantViolation> violations;
+
+  bool passed() const { return violations.empty(); }
+  /// Multi-line "kind ov: detail" listing ("all invariants held" if none).
+  std::string to_string() const;
 };
 
 struct RunResult {
@@ -62,6 +112,10 @@ struct RunResult {
   int puts_attempted = 0;
   int puts_acked = 0;    ///< success replies seen by the client
   int puts_failed = 0;
+
+  int gets_attempted = 0;
+  int gets_ok = 0;          ///< completed with a value
+  int gets_mismatched = 0;  ///< completed with the WRONG value
 
   int versions_total = 0;
   int amr = 0;
@@ -76,6 +130,8 @@ struct RunResult {
   SimTime end_time = 0;
   uint64_t events = 0;
   bool quiescent = false;
+
+  AuditReport audit;
 };
 
 /// Build a cluster, run the workload under the faults, drive the simulation

@@ -103,6 +103,16 @@ void Proxy::put(const Key& key, Bytes value, const Policy& policy,
                 PutCallback callback) {
   PAHOEHOE_CHECK_MSG(policy.valid(), "invalid policy");
   PAHOEHOE_CHECK(callback != nullptr);
+  if (crashed()) {
+    // Client calls reach the proxy out-of-band (no network envelope), so
+    // the crashed_ receive check does not cover them: fail fast instead of
+    // letting a dead server run protocol code. Asynchronous so the caller
+    // never re-enters itself.
+    sim_.schedule_after(0, [callback = std::move(callback)] {
+      callback(PutResult{});
+    });
+    return;
+  }
   ++puts_started_;
 
   auto op = std::make_unique<PutOp>();
@@ -231,6 +241,12 @@ void Proxy::finish_put(const ObjectVersionId& ov) {
 
 void Proxy::get(const Key& key, GetCallback callback) {
   PAHOEHOE_CHECK(callback != nullptr);
+  if (crashed()) {
+    sim_.schedule_after(0, [callback = std::move(callback)] {
+      callback(GetResult{});
+    });
+    return;
+  }
   PAHOEHOE_CHECK_MSG(gets_.count(key) == 0,
                      "one get at a time per key per proxy");
   ++gets_started_;

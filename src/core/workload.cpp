@@ -1,5 +1,6 @@
 #include "core/workload.h"
 
+#include <memory>
 #include <random>
 
 namespace pahoehoe::core {
@@ -42,23 +43,64 @@ void WorkloadDriver::start() {
 
 void WorkloadDriver::issue(int object_index, int attempt) {
   ++attempts_;
+  // The proxy answers exactly once unless it crashes mid-operation, in
+  // which case nobody answers; the shared flag lets whichever of reply and
+  // client timeout fires first claim the attempt.
+  auto answered = std::make_shared<bool>(false);
+  if (config_.client_timeout > 0) {
+    sim_.schedule_after(
+        config_.client_timeout, [this, object_index, attempt, answered] {
+          if (*answered) return;
+          *answered = true;
+          records_.push_back(
+              PutRecord{ObjectVersionId{}, object_index, attempt, false});
+          resolve(object_index, attempt, /*acked=*/false);
+        });
+  }
   proxy_.put(
       key_for(object_index), value_for(object_index), config_.policy,
-      [this, object_index, attempt](const PutResult& result) {
+      [this, object_index, attempt, answered](const PutResult& result) {
+        if (*answered) return;  // the client already gave up on this attempt
+        *answered = true;
         records_.push_back(
             PutRecord{result.ov, object_index, attempt, result.success});
-        if (result.success) {
-          ++successes_;
-          return;
-        }
-        ++failures_;
-        if (config_.retry_failed && attempt < config_.max_attempts) {
-          sim_.schedule_after(config_.retry_delay,
-                              [this, object_index, attempt] {
-                                issue(object_index, attempt + 1);
-                              });
-        }
+        resolve(object_index, attempt, result.success);
       });
+}
+
+void WorkloadDriver::resolve(int object_index, int attempt, bool acked) {
+  if (acked) {
+    ++successes_;
+    maybe_get(object_index);
+    return;
+  }
+  ++failures_;
+  if (config_.retry_failed && attempt < config_.max_attempts) {
+    sim_.schedule_after(config_.retry_delay, [this, object_index, attempt] {
+      issue(object_index, attempt + 1);
+    });
+    return;
+  }
+  maybe_get(object_index);  // read-your-writes check even for failed puts
+}
+
+void WorkloadDriver::maybe_get(int object_index) {
+  // At most one get per object (the proxy allows one in-flight get per key),
+  // issued only after the object's puts fully resolved.
+  if (!sim_.rng().chance(config_.get_fraction)) return;
+  sim_.schedule_after(config_.get_delay, [this, object_index] {
+    proxy_.get(key_for(object_index),
+               [this, object_index](const GetResult& result) {
+                 GetRecord record;
+                 record.object_index = object_index;
+                 record.completed = result.success;
+                 if (result.success) {
+                   record.matched = result.value == value_for(object_index);
+                   record.ts = result.ts;
+                 }
+                 get_records_.push_back(record);
+               });
+  });
 }
 
 }  // namespace pahoehoe::core

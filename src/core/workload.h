@@ -24,14 +24,32 @@ struct WorkloadConfig {
   SimTime retry_delay = 2 * kMicrosPerSecond;
   int max_attempts = 50;
   std::string key_prefix = "obj-";
+  /// Client-side give-up timer per put attempt. A crashed proxy loses its
+  /// in-flight operations without answering (§3.5: clients see their own
+  /// timeouts), so without this a chaos run's proxy crash would strand the
+  /// workload. 0 disables (trust the proxy's reply, the historic behavior).
+  SimTime client_timeout = 0;
+  /// After an object's puts resolve (acked or given up), read it back with
+  /// this probability and check the returned bytes against what was put.
+  double get_fraction = 0.0;
+  SimTime get_delay = 30 * kMicrosPerSecond;  ///< resolve → get gap
 };
 
 /// One put attempt as observed by the client.
 struct PutRecord {
-  ObjectVersionId ov;
+  ObjectVersionId ov;  ///< invalid timestamp if the client timed out locally
   int object_index = 0;
   int attempt = 0;
   bool acked = false;  ///< proxy reported success to the client
+};
+
+/// One read-back as observed by the client. Only completed gets carry a
+/// verdict; an aborted or timed-out get is legal under faults.
+struct GetRecord {
+  int object_index = 0;
+  bool completed = false;  ///< proxy returned a value
+  bool matched = false;    ///< value bytes == the deterministic put value
+  Timestamp ts;            ///< version returned (valid only if completed)
 };
 
 class WorkloadDriver {
@@ -46,6 +64,7 @@ class WorkloadDriver {
   int successes() const { return successes_; }
   int failures() const { return failures_; }
   const std::vector<PutRecord>& records() const { return records_; }
+  const std::vector<GetRecord>& get_records() const { return get_records_; }
 
   Key key_for(int object_index) const;
   /// The (deterministic, regenerable) value stored for an object.
@@ -53,6 +72,8 @@ class WorkloadDriver {
 
  private:
   void issue(int object_index, int attempt);
+  void resolve(int object_index, int attempt, bool acked);
+  void maybe_get(int object_index);
 
   sim::Simulator& sim_;
   Proxy& proxy_;
@@ -62,6 +83,7 @@ class WorkloadDriver {
   int successes_ = 0;
   int failures_ = 0;
   std::vector<PutRecord> records_;
+  std::vector<GetRecord> get_records_;
 };
 
 }  // namespace pahoehoe::core

@@ -100,7 +100,8 @@ std::string NetworkStats::to_table() const {
 }
 
 Network::Network(sim::Simulator& sim, NetworkConfig config)
-    : sim_(sim), config_(config) {
+    : sim_(sim), config_(config),
+      duplication_rate_(config.duplication_rate) {
   PAHOEHOE_CHECK(config_.min_latency >= 0 &&
                  config_.min_latency <= config_.max_latency);
 }
@@ -146,8 +147,8 @@ void Network::send(NodeId from, NodeId to, wire::MessageType type,
     }
   }
 
-  const bool duplicate = config_.duplication_rate > 0.0 &&
-                         sim_.rng().chance(config_.duplication_rate);
+  const bool duplicate =
+      duplication_rate_ > 0.0 && sim_.rng().chance(duplication_rate_);
   const int copies = duplicate ? 2 : 1;
   for (int i = 0; i < copies; ++i) {
     const SimTime latency = sample_latency();

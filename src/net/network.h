@@ -159,6 +159,14 @@ class Network {
   /// latency, and schedules delivery.
   void send(NodeId from, NodeId to, wire::MessageType type, Bytes payload);
 
+  /// Override the duplication rate at runtime (duplication-burst fault
+  /// injection). `reset_duplication_rate` restores the configured base.
+  void set_duplication_rate(double rate) { duplication_rate_ = rate; }
+  void reset_duplication_rate() {
+    duplication_rate_ = config_.duplication_rate;
+  }
+  double duplication_rate() const { return duplication_rate_; }
+
   NetworkStats& stats() { return stats_; }
   const NetworkStats& stats() const { return stats_; }
   /// Message tracing (off by default; see net/trace.h).
@@ -172,6 +180,7 @@ class Network {
 
   sim::Simulator& sim_;
   NetworkConfig config_;
+  double duplication_rate_ = 0.0;
   std::unordered_map<NodeId, MessageHandler*> handlers_;
   std::vector<std::shared_ptr<FaultRule>> faults_;
   std::function<DataCenterId(NodeId)> dc_resolver_;

@@ -1,0 +1,112 @@
+// Crash-recovery edge cases, checked against the invariant auditor: a
+// crash at an awkward moment (mid-put metadata write, mid-recovery, with a
+// client waiting on the proxy) must never cost an acked put its durability
+// or keep the system from converging.
+#include <gtest/gtest.h>
+
+#include "chaos/schedule.h"
+#include "core/harness.h"
+#include "test_util.h"
+
+namespace pahoehoe {
+namespace {
+
+using core::FaultSpec;
+using testing::minutes;
+using testing::seconds;
+
+core::RunConfig small_config() {
+  core::RunConfig config = chaos::chaos_default_config();
+  config.workload.num_puts = 10;  // puts issue at t = 0 s, 1 s, ..., 9 s
+  return config;
+}
+
+// Crash a KLS while puts are writing timestamps and metadata through it.
+// The volatile side of an in-flight decide_locs exchange is lost; the
+// proxy's retries and the FS convergence path must still drive every acked
+// put to AMR after the KLS recovers.
+TEST(CrashRecovery, KlsCrashMidPutMetadataWrite) {
+  core::RunConfig config = small_config();
+  config.faults = {FaultSpec::kls_crash(0, 0, seconds(2), seconds(90))};
+  const core::RunResult result = core::run_experiment(config);
+  EXPECT_TRUE(result.audit.passed()) << result.audit.to_string();
+  EXPECT_GT(result.puts_acked, 0);
+}
+
+// Crash both KLSs of the proxy's data center at staggered times so some
+// put is mid-metadata-write with certainty; retries land on the recovered
+// survivors.
+TEST(CrashRecovery, BothLocalKlsCrashDuringPuts) {
+  core::RunConfig config = small_config();
+  config.faults = {
+      FaultSpec::kls_crash(0, 0, seconds(1), seconds(60)),
+      FaultSpec::kls_crash(0, 1, seconds(4), seconds(45)),
+  };
+  const core::RunResult result = core::run_experiment(config);
+  EXPECT_TRUE(result.audit.passed()) << result.audit.to_string();
+}
+
+// Force an FS into fragment recovery (a blackout makes it miss its
+// fragments), then crash it while the recovery's retry machinery is live.
+// The crash wipes the volatile recovery state; the persistent work-list
+// survives, so the retried recovery after the restart must complete.
+TEST(CrashRecovery, FsCrashMidRecoveryRetry) {
+  core::RunConfig config = small_config();
+  config.faults = {
+      // Miss all put traffic: every version on FS (0,0) needs recovery.
+      FaultSpec::fs_blackout(0, 0, 0, seconds(30)),
+      // First convergence rounds start in [30 s, 90 s]; crash inside the
+      // recovery window and stay down long enough to hit retries.
+      FaultSpec::fs_crash(0, 0, seconds(95), minutes(4)),
+  };
+  const core::RunResult result = core::run_experiment(config);
+  EXPECT_TRUE(result.audit.passed()) << result.audit.to_string();
+}
+
+// Crash the serving proxy while clients have puts in flight. The client
+// timeout fires for lost operations (the proxy answers nothing while
+// down), the workload retries them, and nothing acked may be lost.
+TEST(CrashRecovery, ProxyCrashMidPut) {
+  core::RunConfig config = small_config();
+  config.faults = {FaultSpec::proxy_crash(0, seconds(3), seconds(40))};
+  const core::RunResult result = core::run_experiment(config);
+  EXPECT_TRUE(result.audit.passed()) << result.audit.to_string();
+  // Attempts issued while the proxy was down failed (instant guard or
+  // client timeout) and were retried; every object must still end acked.
+  EXPECT_GT(result.puts_failed, 0);
+  EXPECT_EQ(result.puts_acked, 10);
+}
+
+// Direct unit check of the crashed-proxy guard: operations issued against
+// a crashed proxy fail asynchronously instead of touching protocol state.
+TEST(CrashRecovery, CrashedProxyFailsOpsCleanly) {
+  pahoehoe::testing::SimCluster sc;
+  sc.cluster.proxy(0).crash();
+  const core::PutResult put =
+      sc.put(Key{"k"}, sc.make_value(1024), Policy{});
+  EXPECT_FALSE(put.success);
+  const core::GetResult get = sc.get(Key{"k"});
+  EXPECT_FALSE(get.success);
+
+  // After recovery the same proxy serves normally.
+  sc.cluster.proxy(0).recover();
+  const core::PutResult put2 =
+      sc.put(Key{"k"}, sc.make_value(1024), Policy{});
+  EXPECT_TRUE(put2.success);
+}
+
+// A crash between scrub detecting damage and the repair completing must
+// not lose the repair: the re-added work-list entry is persistent.
+TEST(CrashRecovery, FsCrashBetweenScrubAndRepair) {
+  core::RunConfig config = small_config();
+  config.faults = {
+      FaultSpec::frag_corrupt(0, 1, minutes(2)),
+      // First scrub fires in [5 min, 5.5 min]; crash shortly after it.
+      FaultSpec::fs_crash(0, 1, minutes(5) + seconds(40), minutes(9)),
+  };
+  const core::RunResult result = core::run_experiment(config);
+  EXPECT_TRUE(result.audit.passed()) << result.audit.to_string();
+}
+
+}  // namespace
+}  // namespace pahoehoe

@@ -5,6 +5,7 @@
 // input" is a hard requirement.
 #include <gtest/gtest.h>
 
+#include "chaos/schedule.h"
 #include "common/rng.h"
 #include "wire/messages.h"
 
@@ -182,6 +183,56 @@ TEST_P(WireFuzzTest, MutatedEncodingsNeverCrashDecoders) {
       }
     }
     try_all_decoders(mutated);
+  }
+}
+
+// Fault schedules travel through the same wire machinery (the shrinker's
+// repro files), so they get the same treatment: random schedules round-trip
+// exactly, and mutated encodings parse or throw — never crash.
+TEST_P(WireFuzzTest, FaultSchedulesRoundTripExactly) {
+  const core::ClusterTopology topology;
+  for (uint64_t s = 0; s < 20; ++s) {
+    chaos::ScheduleOptions options;
+    options.intensity = 0.5 + static_cast<double>(s % 5);
+    const auto schedule =
+        chaos::generate_schedule(GetParam() * 100 + s, topology, options);
+    const auto back = chaos::decode_schedule(chaos::encode_schedule(schedule));
+    EXPECT_EQ(back, schedule);
+  }
+}
+
+TEST_P(WireFuzzTest, MutatedScheduleEncodingsNeverCrashDecoder) {
+  Gen gen(GetParam() ^ 0xfa17);
+  const core::ClusterTopology topology;
+  std::vector<Bytes> pool;
+  for (uint64_t s = 0; s < 8; ++s) {
+    pool.push_back(chaos::encode_schedule(
+        chaos::generate_schedule(GetParam() * 31 + s, topology, {})));
+  }
+  pool.push_back(chaos::encode_schedule({}));
+
+  for (int iter = 0; iter < 400; ++iter) {
+    Bytes mutated = pool[gen.index(pool.size())];
+    const int mutations = 1 + static_cast<int>(gen.index(4));
+    for (int m = 0; m < mutations && !mutated.empty(); ++m) {
+      switch (gen.index(3)) {
+        case 0:
+          mutated[gen.index(mutated.size())] ^= gen.u8();
+          break;
+        case 1:
+          mutated.resize(gen.index(mutated.size() + 1));
+          break;
+        case 2:
+          for (size_t j = gen.index(8) + 1; j > 0; --j) {
+            mutated.push_back(gen.u8());
+          }
+          break;
+      }
+    }
+    try {
+      (void)chaos::decode_schedule(mutated);
+    } catch (const WireError&) {
+    }
   }
 }
 
