@@ -24,6 +24,8 @@ int main(int argc, char** argv) {
   const int puts = static_cast<int>(flags.get_int("puts", 50, "puts"));
   const int object_kib =
       static_cast<int>(flags.get_int("object-kib", 100, "object size (KiB)"));
+  const int jobs = static_cast<int>(
+      flags.get_int("jobs", 1, "worker threads for seed dispatch"));
   flags.finish();
 
   Policy ec;  // the paper's default (k=4, n=12)
@@ -59,7 +61,7 @@ int main(int argc, char** argv) {
         config.faults.push_back(core::FaultSpec::fs_blackout(
             0, 0, 0, 10LL * 60 * kMicrosPerSecond));
       }
-      const auto agg = core::run_many(config, seeds, 4000);
+      const auto agg = core::run_many(config, seeds, 4000, jobs);
       std::printf("%-16s %-12s %14.2f %14.2f %12.2f\n", scheme.name,
                   with_failure ? "1 FS down" : "failure-free",
                   agg.msg_bytes.mean() / 1048576.0,

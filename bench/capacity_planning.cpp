@@ -1,0 +1,158 @@
+// Capacity-planning bench (not a paper figure; the ROADMAP's
+// latency/throughput workload model): sweep open-loop put arrival rate ×
+// value size on the paper topology and report per-op latency percentiles
+// and achieved throughput. Open-loop arrivals keep the offered load
+// independent of completions, so a saturating configuration shows up as a
+// growing latency tail instead of silently throttling itself.
+//
+// Output: a human-readable table and BENCH_capacity.json (one object per
+// (rate, size) point with p50/p95/p99 put and get latency in ms, achieved
+// put throughput, and the offered load for reference).
+//
+// Examples:
+//   ./build/bench/capacity_planning
+//   ./build/bench/capacity_planning --rates=2,8,32,64 --sizes-kib=16,100
+//       --duration-s=30 --seeds=10 --jobs=4
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "core/harness.h"
+
+namespace pahoehoe {
+namespace {
+
+std::vector<double> parse_list(const std::string& csv) {
+  std::vector<double> out;
+  size_t begin = 0;
+  while (begin <= csv.size()) {
+    size_t end = csv.find(',', begin);
+    if (end == std::string::npos) end = csv.size();
+    const std::string item = csv.substr(begin, end - begin);
+    if (!item.empty()) out.push_back(std::stod(item));
+    begin = end + 1;
+  }
+  return out;
+}
+
+struct Point {
+  double rate_per_s = 0;
+  int value_kib = 0;
+  core::AggregateResult agg;
+};
+
+double ms(double seconds) { return seconds * 1e3; }
+
+void write_json(const std::string& path, const std::vector<Point>& points,
+                int seeds, double duration_s, bool poisson) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"capacity_planning\",\n"
+               "  \"arrivals\": \"%s\",\n"
+               "  \"seeds\": %d,\n"
+               "  \"duration_s\": %g,\n"
+               "  \"points\": [\n",
+               poisson ? "poisson" : "fixed", seeds, duration_s);
+  for (size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    const auto& put = p.agg.put_latency_s;
+    const auto& get = p.agg.get_latency_s;
+    std::fprintf(
+        f,
+        "    {\"rate_per_s\": %g, \"value_kib\": %d,\n"
+        "     \"puts_attempted\": %.2f, \"puts_acked\": %.2f,\n"
+        "     \"achieved_put_rate_per_s\": %.4f,\n"
+        "     \"put_latency_ms\": {\"count\": %llu, \"p50\": %.3f, "
+        "\"p95\": %.3f, \"p99\": %.3f, \"max\": %.3f},\n"
+        "     \"get_latency_ms\": {\"count\": %llu, \"p50\": %.3f, "
+        "\"p95\": %.3f, \"p99\": %.3f, \"max\": %.3f}}%s\n",
+        p.rate_per_s, p.value_kib, p.agg.puts_attempted.mean(),
+        p.agg.puts_acked.mean(), p.agg.puts_acked.mean() / duration_s,
+        static_cast<unsigned long long>(put.count()), ms(put.quantile(0.50)),
+        ms(put.quantile(0.95)), ms(put.quantile(0.99)), ms(put.max()),
+        static_cast<unsigned long long>(get.count()), ms(get.quantile(0.50)),
+        ms(get.quantile(0.95)), ms(get.quantile(0.99)), ms(get.max()),
+        i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+int run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const std::vector<double> rates = parse_list(flags.get_string(
+      "rates", "2,8,32", "put arrival rates to sweep (puts/s)"));
+  const std::vector<double> sizes = parse_list(flags.get_string(
+      "sizes-kib", "16,100", "value sizes to sweep (KiB)"));
+  const double duration_s =
+      flags.get_double("duration-s", 20.0, "arrival window per run (s)");
+  const int seeds =
+      static_cast<int>(flags.get_int("seeds", 5, "seeds per point"));
+  const int jobs = static_cast<int>(
+      flags.get_int("jobs", 1, "worker threads for seed dispatch"));
+  const bool poisson = flags.get_bool(
+      "poisson", true, "Poisson arrivals (false: fixed-rate)");
+  const double get_fraction = flags.get_double(
+      "get-fraction", 0.5, "read back each object with this probability");
+  const std::string out =
+      flags.get_string("out", "BENCH_capacity.json", "JSON output path");
+  flags.finish();
+
+  core::RunConfig base = core::paper_default_config();
+  base.convergence = core::ConvergenceOptions::all_opts();
+  base.workload.arrivals = poisson ? core::ArrivalProcess::kOpenPoisson
+                                   : core::ArrivalProcess::kOpenFixed;
+  base.workload.get_fraction = get_fraction;
+
+  std::printf("capacity planning: open-loop %s arrivals, %gs window, "
+              "%d seeds/point, %d jobs\n\n",
+              poisson ? "Poisson" : "fixed-rate", duration_s, seeds, jobs);
+  std::printf("%8s %9s %10s %10s %10s %10s %10s %10s\n", "rate/s", "size",
+              "achieved", "put p50", "put p95", "put p99", "get p50",
+              "get p99");
+
+  std::vector<Point> points;
+  for (double size_kib : sizes) {
+    for (double rate : rates) {
+      Point point;
+      point.rate_per_s = rate;
+      point.value_kib = static_cast<int>(size_kib);
+
+      core::RunConfig config = base;
+      config.workload.arrival_rate_per_s = rate;
+      config.workload.num_puts =
+          std::max(1, static_cast<int>(rate * duration_s));
+      config.workload.value_size =
+          static_cast<size_t>(size_kib) * 1024;
+      point.agg = core::run_many(config, seeds,
+                                 /*base_seed=*/3000, jobs);
+
+      const auto& put = point.agg.put_latency_s;
+      const auto& get = point.agg.get_latency_s;
+      std::printf(
+          "%8g %7dKi %8.2f/s %8.2fms %8.2fms %8.2fms %8.2fms %8.2fms\n",
+          rate, point.value_kib, point.agg.puts_acked.mean() / duration_s,
+          ms(put.quantile(0.50)), ms(put.quantile(0.95)),
+          ms(put.quantile(0.99)), ms(get.quantile(0.50)),
+          ms(get.quantile(0.99)));
+      std::fflush(stdout);
+      points.push_back(std::move(point));
+    }
+  }
+
+  write_json(out, points, seeds, duration_s, poisson);
+  return 0;
+}
+
+}  // namespace
+}  // namespace pahoehoe
+
+int main(int argc, char** argv) { return pahoehoe::run(argc, argv); }

@@ -101,6 +101,8 @@ int run(int argc, char** argv) {
   const bool ablate =
       flags.get_bool("ablate", false, "also report each optimization's "
                                       "marginal effect with the others on");
+  const int jobs = static_cast<int>(
+      flags.get_int("jobs", 1, "worker threads for seed dispatch"));
   flags.finish();
 
   core::RunConfig config = core::paper_default_config();
@@ -126,7 +128,7 @@ int run(int argc, char** argv) {
   for (const auto& preset : presets) {
     config.convergence = preset.conv;
     columns.push_back(
-        Column{preset.label, core::run_many(config, seeds, 1000)});
+        Column{preset.label, core::run_many(config, seeds, 1000, jobs)});
   }
   columns.push_back(Column{"Idealized", idealized(config)});
 
@@ -142,12 +144,12 @@ int run(int argc, char** argv) {
                 "All (failure-free):\n");
     std::vector<Column> ab;
     config.convergence = core::ConvergenceOptions::all_opts();
-    ab.push_back(Column{"All", core::run_many(config, seeds, 2000)});
+    ab.push_back(Column{"All", core::run_many(config, seeds, 2000, jobs)});
     auto drop = [&](const char* label, auto mutate) {
       core::ConvergenceOptions conv = core::ConvergenceOptions::all_opts();
       mutate(conv);
       config.convergence = conv;
-      ab.push_back(Column{label, core::run_many(config, seeds, 2000)});
+      ab.push_back(Column{label, core::run_many(config, seeds, 2000, jobs)});
     };
     drop("-FSAMR",
          [](core::ConvergenceOptions& c) { c.fs_amr_indication = false; });

@@ -21,6 +21,8 @@ int main(int argc, char** argv) {
       static_cast<int>(flags.get_int("object-kib", 100, "object size (KiB)"));
   const int max_failures = static_cast<int>(
       flags.get_int("max-failures", 4, "maximum simultaneous FS failures"));
+  const int jobs = static_cast<int>(
+      flags.get_int("jobs", 1, "worker threads for seed dispatch"));
   flags.finish();
 
   core::RunConfig config = core::paper_default_config();
@@ -31,7 +33,7 @@ int main(int argc, char** argv) {
       "Figure 6 — FS failures and message count: %d puts of %d KiB, 10 min "
       "blackouts, %d seeds\n\n",
       puts, object_kib, seeds);
-  const auto columns = bench::run_fs_failure_sweep(config, seeds, max_failures);
+  const auto columns = bench::run_fs_failure_sweep(config, seeds, max_failures, jobs);
   bench::print_grouped(columns, bench::Metric::kCount, 4);
 
   std::printf("Totals (10^3 messages):\n");

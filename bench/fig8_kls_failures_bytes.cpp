@@ -19,6 +19,8 @@ int main(int argc, char** argv) {
   const int puts = static_cast<int>(flags.get_int("puts", 100, "puts"));
   const int object_kib =
       static_cast<int>(flags.get_int("object-kib", 100, "object size (KiB)"));
+  const int jobs = static_cast<int>(
+      flags.get_int("jobs", 1, "worker threads for seed dispatch"));
   flags.finish();
 
   core::RunConfig config = core::paper_default_config();
@@ -31,7 +33,7 @@ int main(int argc, char** argv) {
       "(2C = one KLS per data center; 2P = both KLSs of data center 1, "
       "mimicking a WAN partition)\n\n",
       puts, object_kib, seeds);
-  const auto columns = bench::run_kls_failure_sweep(config, seeds);
+  const auto columns = bench::run_kls_failure_sweep(config, seeds, jobs);
   bench::print_grouped(columns, bench::Metric::kBytes, 4, /*wan_row=*/true);
 
   std::printf("Totals (MiB, with WAN share):\n");

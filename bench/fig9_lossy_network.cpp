@@ -25,6 +25,8 @@ int main(int argc, char** argv) {
   const double max_rate =
       flags.get_double("max-drop", 0.15, "highest drop rate");
   const double step = flags.get_double("step", 0.025, "drop-rate step");
+  const int jobs = static_cast<int>(
+      flags.get_int("jobs", 1, "worker threads for seed dispatch"));
   flags.finish();
 
   core::RunConfig config = core::paper_default_config();
@@ -45,7 +47,7 @@ int main(int argc, char** argv) {
 
   for (double rate = 0.0; rate <= max_rate + 1e-9; rate += step) {
     config.faults = {core::FaultSpec::uniform_loss(rate)};
-    const core::AggregateResult agg = core::run_many(config, seeds, 900);
+    const core::AggregateResult agg = core::run_many(config, seeds, 900, jobs);
     std::printf("%7.1f%% %10.1f [%5.0f,%5.0f] %10.1f [%5.0f,%5.0f] "
                 "%10.2f [%5.0f,%5.0f] %16.2f\n",
                 rate * 100, agg.puts_attempted.mean(),

@@ -67,31 +67,33 @@ inline std::vector<KlsCase> kls_cases() {
 /// Column labels follow the paper: "<failures>-<opts>". The 0-failure case
 /// is run only with All (the paper's 0-All reference point).
 inline std::vector<Column> run_fs_failure_sweep(core::RunConfig config,
-                                                int seeds, int max_failures) {
+                                                int seeds, int max_failures,
+                                                int jobs = 1) {
   std::vector<Column> columns;
   config.faults = {};
   config.convergence = core::ConvergenceOptions::all_opts();
-  columns.push_back(Column{"0-All", core::run_many(config, seeds, 500)});
+  columns.push_back(Column{"0-All", core::run_many(config, seeds, 500, jobs)});
   for (int failures = 1; failures <= max_failures; ++failures) {
     for (const auto& preset : sweep_presets()) {
       config.convergence = preset.conv;
       config.faults = fs_blackouts(failures);
       columns.push_back(
           Column{std::to_string(failures) + "-" + preset.label,
-                 core::run_many(config, seeds, 500)});
+                 core::run_many(config, seeds, 500, jobs)});
     }
   }
   return columns;
 }
 
 inline std::vector<Column> run_kls_failure_sweep(core::RunConfig config,
-                                                 int seeds) {
+                                                 int seeds, int jobs = 1) {
   std::vector<Column> columns;
   for (const auto& kls_case : kls_cases()) {
     if (std::string(kls_case.label) == "0") {
       config.convergence = core::ConvergenceOptions::all_opts();
       config.faults = kls_case.faults;
-      columns.push_back(Column{"0-All", core::run_many(config, seeds, 700)});
+      columns.push_back(
+          Column{"0-All", core::run_many(config, seeds, 700, jobs)});
       continue;
     }
     for (const auto& preset : sweep_presets()) {
@@ -99,7 +101,7 @@ inline std::vector<Column> run_kls_failure_sweep(core::RunConfig config,
       config.faults = kls_case.faults;
       columns.push_back(
           Column{std::string(kls_case.label) + "-" + preset.label,
-                 core::run_many(config, seeds, 700)});
+                 core::run_many(config, seeds, 700, jobs)});
     }
   }
   return columns;

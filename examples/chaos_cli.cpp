@@ -8,6 +8,7 @@
 //   ./build/examples/chaos_cli --seeds=20 --scrub=false   (expect failures:
 //       silent corruption is never repaired without scrubbing)
 #include <cstdio>
+#include <map>
 
 #include "chaos/sweep.h"
 #include "common/flags.h"
@@ -21,6 +22,9 @@ int main(int argc, char** argv) {
   sweep.seeds = static_cast<int>(flags.get_int("seeds", 50, "seeds to run"));
   sweep.base_seed =
       static_cast<uint64_t>(flags.get_int("base-seed", 1, "first seed"));
+  sweep.jobs = static_cast<int>(flags.get_int(
+      "jobs", 1, "worker threads (0 = hardware); summary is identical "
+                 "for every value"));
   sweep.schedule.intensity = flags.get_double(
       "intensity", 1.0, "fault count scale (~6 faults at 1.0)");
   sweep.schedule.corruption =
@@ -36,6 +40,8 @@ int main(int argc, char** argv) {
       flags.get_bool("blackouts", true, "inject node blackouts");
   sweep.schedule.duplication =
       flags.get_bool("duplication", true, "inject duplication bursts");
+  sweep.schedule.disk_destroys =
+      flags.get_bool("disk-destroys", true, "inject FS disk wipes");
   sweep.shrink_failures =
       flags.get_bool("shrink", true, "shrink failing schedules");
   sweep.shrink.max_runs = static_cast<int>(
@@ -49,18 +55,30 @@ int main(int argc, char** argv) {
       flags.get_int("puts", config.workload.num_puts, "objects to store"));
   flags.finish();
 
+  // The hook fires in completion order, which is scheduler-dependent when
+  // jobs > 1. Buffer out-of-order seeds and flush in seed order so stdout
+  // is byte-identical for every job count (it runs under the sweep lock,
+  // so plain state is fine).
   const bool verbose = sweep.seeds <= 100;
-  sweep.on_seed = [verbose](const chaos::SeedOutcome& outcome) {
-    if (outcome.passed) {
-      if (verbose) {
-        std::printf("seed %llu ok (%zu faults)\n",
-                    static_cast<unsigned long long>(outcome.seed),
-                    outcome.schedule.size());
+  auto pending = std::make_shared<std::map<uint64_t, chaos::SeedOutcome>>();
+  auto next = std::make_shared<uint64_t>(sweep.base_seed);
+  sweep.on_seed = [verbose, pending, next](const chaos::SeedOutcome& outcome) {
+    (*pending)[outcome.seed] = outcome;
+    for (auto it = pending->begin();
+         it != pending->end() && it->first == *next;
+         it = pending->erase(it), ++*next) {
+      const chaos::SeedOutcome& done = it->second;
+      if (done.passed) {
+        if (verbose) {
+          std::printf("seed %llu ok (%zu faults)\n",
+                      static_cast<unsigned long long>(done.seed),
+                      done.schedule.size());
+        }
+      } else {
+        std::printf("seed %llu FAILED (%zu faults)\n",
+                    static_cast<unsigned long long>(done.seed),
+                    done.schedule.size());
       }
-    } else {
-      std::printf("seed %llu FAILED (%zu faults)\n",
-                  static_cast<unsigned long long>(outcome.seed),
-                  outcome.schedule.size());
     }
     std::fflush(stdout);
   };

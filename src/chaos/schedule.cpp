@@ -56,6 +56,9 @@ std::vector<FaultSpec> generate_schedule(uint64_t seed,
   if (options.duplication) {
     pool.push_back(FaultSpec::Kind::kDuplicationBurst);
   }
+  if (options.disk_destroys) {
+    pool.push_back(FaultSpec::Kind::kDiskDestroy);
+  }
 
   std::vector<FaultSpec> schedule;
   if (pool.empty()) return schedule;
@@ -139,6 +142,17 @@ std::vector<FaultSpec> generate_schedule(uint64_t seed,
             rate, start, start + window_len(rng, options)));
         break;
       }
+      case FaultSpec::Kind::kDiskDestroy: {
+        const int index =
+            static_cast<int>(rng.uniform_int(0, topology.fs_per_dc - 1));
+        const int disk =
+            static_cast<int>(rng.uniform_int(0, topology.disks_per_fs - 1));
+        // Not before 30 s: give the workload a chance to store something.
+        const SimTime at =
+            rng.uniform_int(30 * kMicrosPerSecond, options.fault_horizon);
+        schedule.push_back(FaultSpec::disk_destroy(dc, index, disk, at));
+        break;
+      }
     }
   }
   return schedule;
@@ -151,6 +165,7 @@ Bytes encode_schedule(const std::vector<FaultSpec>& schedule) {
     w.u8(static_cast<uint8_t>(spec.kind));
     w.i64(spec.dc);
     w.i64(spec.index_in_dc);
+    w.i64(spec.disk);
     w.i64(spec.start);
     w.i64(spec.end);
     w.u64(std::bit_cast<uint64_t>(spec.rate));
@@ -172,6 +187,7 @@ std::vector<FaultSpec> decode_schedule(const Bytes& data) {
     spec.kind = static_cast<FaultSpec::Kind>(kind);
     spec.dc = static_cast<int>(r.i64());
     spec.index_in_dc = static_cast<int>(r.i64());
+    spec.disk = static_cast<int>(r.i64());
     spec.start = r.i64();
     spec.end = r.i64();
     spec.rate = std::bit_cast<double>(r.u64());

@@ -42,6 +42,7 @@ struct ScheduleOptions {
   bool corruption = true;    ///< silent fragment corruption
   bool proxy_crashes = true;
   bool duplication = true;
+  bool disk_destroys = true;  ///< wipe one disk of an FS (bulk data loss)
 };
 
 /// Compose a random fault schedule for `topology`. Deterministic in

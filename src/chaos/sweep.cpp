@@ -1,6 +1,9 @@
 #include "chaos/sweep.h"
 
 #include <cstdio>
+#include <mutex>
+
+#include "common/parallel.h"
 
 namespace pahoehoe::chaos {
 
@@ -32,7 +35,15 @@ SweepResult run_sweep(core::RunConfig config, const SweepOptions& options) {
   const std::vector<core::FaultSpec> base_faults = config.faults;
 
   SweepResult result;
-  for (int i = 0; i < options.seeds; ++i) {
+  if (options.seeds <= 0) return result;
+  result.outcomes.resize(static_cast<size_t>(options.seeds));
+
+  // Each seed is fully determined by (config, options, seed index), so the
+  // workers never read each other's state; the mutex only serializes the
+  // shared counters and the progress hook. Outcomes land in their seed's
+  // slot, making the result independent of completion order.
+  std::mutex mutex;
+  parallel_for(options.seeds, options.jobs, [&](int i) {
     SeedOutcome outcome;
     outcome.seed = options.base_seed + static_cast<uint64_t>(i);
 
@@ -42,27 +53,30 @@ SweepResult run_sweep(core::RunConfig config, const SweepOptions& options) {
     outcome.schedule.insert(outcome.schedule.end(), generated.begin(),
                             generated.end());
 
-    config.seed = outcome.seed;
-    config.faults = outcome.schedule;
-    core::RunResult run = core::run_experiment(config);
-    ++result.runs;
+    core::RunConfig seed_config = config;
+    seed_config.seed = outcome.seed;
+    seed_config.faults = outcome.schedule;
+    core::RunResult run = core::run_experiment(seed_config);
+    int runs = 1;
     outcome.audit = run.audit;
     outcome.passed = run.audit.passed();
 
-    if (!outcome.passed) {
-      ++result.failures;
-      if (options.shrink_failures) {
-        ShrinkResult shrunk =
-            shrink_schedule(config, outcome.schedule, options.shrink);
-        outcome.shrunk = std::move(shrunk.schedule);
-        outcome.shrink_runs = shrunk.runs;
-        result.runs += shrunk.runs;
-      }
+    if (!outcome.passed && options.shrink_failures) {
+      ShrinkResult shrunk =
+          shrink_schedule(seed_config, outcome.schedule, options.shrink);
+      outcome.shrunk = std::move(shrunk.schedule);
+      outcome.shrink_runs = shrunk.runs;
+      runs += shrunk.runs;
     }
 
-    if (options.on_seed) options.on_seed(outcome);
-    result.outcomes.push_back(std::move(outcome));
-  }
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      result.runs += runs;
+      if (!outcome.passed) ++result.failures;
+      if (options.on_seed) options.on_seed(outcome);
+    }
+    result.outcomes[static_cast<size_t>(i)] = std::move(outcome);
+  });
   return result;
 }
 

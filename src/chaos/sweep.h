@@ -13,10 +13,18 @@ namespace pahoehoe::chaos {
 struct SweepOptions {
   int seeds = 50;
   uint64_t base_seed = 1;
+  /// Worker threads to dispatch seeds across (each seed owns its whole
+  /// simulation, so seeds parallelize perfectly). Results are collected in
+  /// seed order: the SweepResult — outcomes, counters, summary() — is
+  /// byte-identical for every jobs value. <= 0 means one per hardware
+  /// thread.
+  int jobs = 1;
   ScheduleOptions schedule;
   bool shrink_failures = true;
   ShrinkOptions shrink;
   /// Progress hook, called after each seed completes (may be empty).
+  /// Called under a lock, but in completion order, which for jobs > 1 is
+  /// not seed order.
   std::function<void(const struct SeedOutcome&)> on_seed;
 };
 

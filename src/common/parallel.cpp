@@ -1,0 +1,53 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pahoehoe {
+
+int resolve_jobs(int requested, int n) {
+  if (n < 1) return 1;
+  int jobs = requested;
+  if (jobs <= 0) {
+    jobs = static_cast<int>(std::thread::hardware_concurrency());
+    if (jobs <= 0) jobs = 1;
+  }
+  return jobs < n ? jobs : n;
+}
+
+void parallel_for(int n, int jobs, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  jobs = resolve_jobs(jobs, n);
+  if (jobs <= 1) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<int> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+
+  auto worker = [&] {
+    for (;;) {
+      const int i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(jobs));
+  for (int t = 0; t < jobs; ++t) threads.emplace_back(worker);
+  for (std::thread& thread : threads) thread.join();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace pahoehoe

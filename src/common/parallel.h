@@ -1,0 +1,25 @@
+// Deterministic parallel dispatch for independent seed runs.
+//
+// The sweep and bench harnesses run many seeds, each of which owns its
+// whole simulation stack (Simulator, Network, Cluster), so seeds can run
+// on worker threads with no sharing. Callers collect per-index results
+// into pre-sized slots and aggregate in index order afterwards, which
+// makes a T-thread run byte-identical to the serial run.
+#pragma once
+
+#include <functional>
+
+namespace pahoehoe {
+
+/// Worker count to actually use: `requested` clamped to [1, n], with
+/// requested <= 0 meaning "one per hardware thread".
+int resolve_jobs(int requested, int n);
+
+/// Run fn(0), fn(1), …, fn(n-1), distributed across `jobs` worker threads
+/// (inline when jobs <= 1). Indices are claimed from a shared counter, so
+/// every index runs exactly once; completion order is unspecified. `fn`
+/// must be safe to call concurrently for distinct indices. If any call
+/// throws, one of the exceptions is rethrown after all workers finish.
+void parallel_for(int n, int jobs, const std::function<void(int)>& fn);
+
+}  // namespace pahoehoe

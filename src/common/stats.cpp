@@ -3,9 +3,15 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.h"
+
 namespace pahoehoe {
 
 void SampleStats::add(double x) { values_.push_back(x); }
+
+void SampleStats::merge(const SampleStats& other) {
+  values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+}
 
 double SampleStats::mean() const {
   if (values_.empty()) return 0.0;
@@ -36,5 +42,81 @@ double SampleStats::max() const {
   if (values_.empty()) return 0.0;
   return *std::max_element(values_.begin(), values_.end());
 }
+
+double SampleStats::percentile(double p) const {
+  if (values_.empty()) return 0.0;
+  PAHOEHOE_CHECK(p >= 0.0 && p <= 100.0);
+  std::vector<double> sorted = values_;
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+QuantileSketch::QuantileSketch(double relative_error)
+    : alpha_(relative_error),
+      gamma_((1.0 + relative_error) / (1.0 - relative_error)),
+      inv_log_gamma_(1.0 / std::log(gamma_)) {
+  PAHOEHOE_CHECK(relative_error > 0.0 && relative_error < 1.0);
+}
+
+void QuantileSketch::add(double x) {
+  PAHOEHOE_CHECK(x >= 0.0 && std::isfinite(x));
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  if (x < kMinValue) {
+    ++zero_count_;
+    return;
+  }
+  const auto key =
+      static_cast<int32_t>(std::ceil(std::log(x) * inv_log_gamma_));
+  ++buckets_[key];
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  PAHOEHOE_CHECK(alpha_ == other.alpha_);
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  zero_count_ += other.zero_count_;
+  for (const auto& [key, n] : other.buckets_) buckets_[key] += n;
+}
+
+double QuantileSketch::quantile(double q) const {
+  PAHOEHOE_CHECK(q >= 0.0 && q <= 1.0);
+  if (count_ == 0) return 0.0;
+  const auto rank =
+      static_cast<uint64_t>(q * static_cast<double>(count_ - 1));
+  if (rank < zero_count_) return 0.0;
+  uint64_t cumulative = zero_count_;
+  for (const auto& [key, n] : buckets_) {
+    cumulative += n;
+    if (cumulative > rank) {
+      // Midpoint estimate of the bucket (gamma^(key-1), gamma^key]: within
+      // a factor (1 ± alpha) of every value the bucket holds.
+      const double value =
+          2.0 * std::pow(gamma_, static_cast<double>(key)) / (gamma_ + 1.0);
+      return std::clamp(value, min_, max_);
+    }
+  }
+  return max_;
+}
+
+double QuantileSketch::min() const { return count_ == 0 ? 0.0 : min_; }
+
+double QuantileSketch::max() const { return count_ == 0 ? 0.0 : max_; }
 
 }  // namespace pahoehoe

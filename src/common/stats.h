@@ -1,9 +1,11 @@
 // Small statistics helpers used by the experiment harness to aggregate
 // per-seed results (the paper reports means and checks 95% confidence
-// intervals, §5.1).
+// intervals, §5.1) and by the latency workload to report percentiles.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <map>
 #include <vector>
 
 namespace pahoehoe {
@@ -12,6 +14,9 @@ namespace pahoehoe {
 class SampleStats {
  public:
   void add(double x);
+  /// Append another sample's values (in their insertion order), so
+  /// per-seed partials aggregate to the same state as one serial pass.
+  void merge(const SampleStats& other);
 
   size_t count() const { return values_.size(); }
   double mean() const;
@@ -22,11 +27,52 @@ class SampleStats {
   double ci95_halfwidth() const;
   double min() const;
   double max() const;
+  /// Exact percentile of the sample, p in [0, 100], with linear
+  /// interpolation between order statistics; 0 for an empty sample.
+  double percentile(double p) const;
 
   const std::vector<double>& values() const { return values_; }
 
  private:
   std::vector<double> values_;
+};
+
+/// Mergeable quantile sketch over non-negative values (latencies), with a
+/// bounded *relative* error: quantile(q) is within a factor (1 ± alpha) of
+/// an exact quantile of everything added. Log-spaced buckets with integer
+/// counts (the DDSketch construction), so merging is bucket-wise addition —
+/// exactly associative and commutative, which is what lets per-seed
+/// partials from a parallel sweep combine into a deterministic result.
+class QuantileSketch {
+ public:
+  explicit QuantileSketch(double relative_error = 0.01);
+
+  void add(double x);  ///< x < kMinValue (incl. 0) lands in the zero bucket
+  /// Bucket-wise addition; both sketches must use the same relative_error.
+  void merge(const QuantileSketch& other);
+
+  /// Estimated q-quantile, q in [0, 1]; 0 for an empty sketch. Clamped to
+  /// the exact [min, max] seen, so quantile(0)/quantile(1) are exact.
+  double quantile(double q) const;
+
+  uint64_t count() const { return count_; }
+  double relative_error() const { return alpha_; }
+  double min() const;  ///< exact smallest value added (0 if empty)
+  double max() const;  ///< exact largest value added (0 if empty)
+
+  /// Values below this are counted as zero (they are indistinguishable
+  /// from 0 at any latency scale the harness measures).
+  static constexpr double kMinValue = 1e-9;
+
+ private:
+  double alpha_;
+  double gamma_;          // bucket boundary ratio (1 + a) / (1 - a)
+  double inv_log_gamma_;  // 1 / ln(gamma)
+  uint64_t count_ = 0;
+  uint64_t zero_count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::map<int32_t, uint64_t> buckets_;  // key -> count, keys ordered
 };
 
 }  // namespace pahoehoe

@@ -4,6 +4,8 @@
 #include <set>
 #include <unordered_set>
 
+#include "common/parallel.h"
+
 namespace pahoehoe::core {
 
 FaultSpec FaultSpec::fs_blackout(int dc, int index, SimTime start,
@@ -86,6 +88,17 @@ FaultSpec FaultSpec::duplication_burst(double rate, SimTime start,
   return spec;
 }
 
+FaultSpec FaultSpec::disk_destroy(int dc, int index, int disk, SimTime at) {
+  FaultSpec spec;
+  spec.kind = Kind::kDiskDestroy;
+  spec.dc = dc;
+  spec.index_in_dc = index;
+  spec.disk = disk;
+  spec.start = at;
+  spec.end = at;
+  return spec;
+}
+
 std::string to_repro_string(const FaultSpec& spec) {
   char buf[160];
   const auto ll = [](SimTime t) { return static_cast<long long>(t); };
@@ -133,6 +146,11 @@ std::string to_repro_string(const FaultSpec& spec) {
       std::snprintf(buf, sizeof(buf),
                     "core::FaultSpec::duplication_burst(%.6f, %lld, %lld)",
                     spec.rate, ll(spec.start), ll(spec.end));
+      break;
+    case FaultSpec::Kind::kDiskDestroy:
+      std::snprintf(buf, sizeof(buf),
+                    "core::FaultSpec::disk_destroy(%d, %d, %d, %lld)",
+                    spec.dc, spec.index_in_dc, spec.disk, ll(spec.start));
       break;
   }
   return buf;
@@ -241,6 +259,13 @@ void install_fault(const FaultSpec& spec, Cluster& cluster,
       });
       sim.schedule_at(spec.end, [&net] { net.reset_duplication_rate(); });
       break;
+    case FaultSpec::Kind::kDiskDestroy: {
+      FragmentServer& fs = cluster.fs(spec.dc, spec.index_in_dc);
+      sim.schedule_at(spec.start, [&fs, disk = spec.disk] {
+        fs.destroy_disk(static_cast<uint8_t>(disk));
+      });
+      break;
+    }
   }
 }
 
@@ -268,6 +293,13 @@ RunResult run_experiment(const RunConfig& config) {
   result.end_time = sim.last_event_time();
   result.events = sim.executed();
   result.quiescent = cluster.converged_quiescent();
+
+  for (const OpLatency& op : driver.put_latencies()) {
+    if (op.ok) result.put_latency_s.push_back(op.seconds());
+  }
+  for (const OpLatency& op : driver.get_latencies()) {
+    if (op.ok) result.get_latency_s.push_back(op.seconds());
+  }
 
   std::set<ObjectVersionId> seen;
   for (const PutRecord& record : driver.records()) {
@@ -356,13 +388,22 @@ RunResult run_experiment(const RunConfig& config) {
   return result;
 }
 
-AggregateResult run_many(RunConfig config, int num_seeds,
-                         uint64_t base_seed) {
+AggregateResult run_many(RunConfig config, int num_seeds, uint64_t base_seed,
+                         int jobs) {
+  // Every seed is a self-contained simulation (its own Simulator, Network,
+  // Cluster), so seeds run on worker threads; results land in per-seed
+  // slots and are folded below in seed order, making the aggregate
+  // byte-identical for any jobs value.
+  std::vector<RunResult> results(static_cast<size_t>(num_seeds));
+  parallel_for(num_seeds, jobs, [&](int s) {
+    RunConfig seed_config = config;
+    seed_config.seed = base_seed + static_cast<uint64_t>(s);
+    results[static_cast<size_t>(s)] = run_experiment(seed_config);
+  });
+
   AggregateResult agg;
   agg.seeds = num_seeds;
-  for (int s = 0; s < num_seeds; ++s) {
-    config.seed = base_seed + static_cast<uint64_t>(s);
-    const RunResult r = run_experiment(config);
+  for (const RunResult& r : results) {
     agg.msg_count.add(static_cast<double>(r.stats.total_sent_count()));
     agg.msg_bytes.add(static_cast<double>(r.stats.total_sent_bytes()));
     agg.wan_bytes.add(static_cast<double>(r.stats.wan_sent_bytes()));
@@ -381,6 +422,15 @@ AggregateResult run_many(RunConfig config, int num_seeds,
     agg.non_durable.add(r.non_durable);
     agg.end_time_s.add(static_cast<double>(r.end_time) /
                        static_cast<double>(kMicrosPerSecond));
+    SampleStats seed_put_latency;
+    for (double latency : r.put_latency_s) {
+      agg.put_latency_s.add(latency);
+      seed_put_latency.add(latency);
+    }
+    if (seed_put_latency.count() > 0) {
+      agg.put_latency_mean_s.add(seed_put_latency.mean());
+    }
+    for (double latency : r.get_latency_s) agg.get_latency_s.add(latency);
   }
   return agg;
 }

@@ -32,12 +32,16 @@ struct FaultSpec {
                    ///< recover at `end`; in-flight client ops are lost
     kDuplicationBurst,  ///< raise the network duplication rate to `rate`
                         ///< during [start, end)
+    kDiskDestroy,  ///< at `start`, wipe every fragment on disk `disk` of
+                   ///< FS (dc, index) — bulk data loss; scrub + convergence
+                   ///< must rebuild from siblings
   };
-  static constexpr int kKindCount = 9;
+  static constexpr int kKindCount = 10;
 
   Kind kind = Kind::kUniformLoss;
   int dc = 0;
   int index_in_dc = 0;
+  int disk = 0;  ///< kDiskDestroy only
   SimTime start = 0;
   SimTime end = 0;
   double rate = 0.0;
@@ -52,6 +56,7 @@ struct FaultSpec {
   static FaultSpec frag_corrupt(int dc, int index, SimTime at);
   static FaultSpec proxy_crash(int index, SimTime start, SimTime end);
   static FaultSpec duplication_burst(double rate, SimTime start, SimTime end);
+  static FaultSpec disk_destroy(int dc, int index, int disk, SimTime at);
 
   friend bool operator==(const FaultSpec&, const FaultSpec&) = default;
 };
@@ -131,6 +136,12 @@ struct RunResult {
   uint64_t events = 0;
   bool quiescent = false;
 
+  /// Client-observed per-op latencies in seconds, in resolution order: puts
+  /// from first-attempt arrival to final resolution (acked ops only — a
+  /// failed put's "latency" is a timeout artifact), gets issue → value.
+  std::vector<double> put_latency_s;
+  std::vector<double> get_latency_s;
+
   AuditReport audit;
 };
 
@@ -153,10 +164,20 @@ struct AggregateResult {
   SampleStats durable_not_amr;
   SampleStats non_durable;
   SampleStats end_time_s;
+  /// Per-op latencies pooled across every seed (mergeable sketches, so
+  /// per-seed partials combine deterministically), plus the per-seed mean
+  /// put latency for CI reporting.
+  QuantileSketch put_latency_s;
+  QuantileSketch get_latency_s;
+  SampleStats put_latency_mean_s;
 };
 
 /// Run `config` under seeds base_seed, base_seed+1, … and aggregate.
-AggregateResult run_many(RunConfig config, int num_seeds, uint64_t base_seed);
+/// Seeds are independent runs, dispatched across `jobs` worker threads;
+/// aggregation happens in seed order afterwards, so the result is
+/// byte-identical for every jobs value.
+AggregateResult run_many(RunConfig config, int num_seeds, uint64_t base_seed,
+                         int jobs = 1);
 
 /// The paper's default experimental setup (§5.1): 2 DCs × (2 KLS + 3 FS),
 /// 100 puts of 100 KiB, default policy. Convergence options filled by the

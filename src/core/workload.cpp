@@ -1,7 +1,10 @@
 #include "core/workload.h"
 
+#include <cmath>
 #include <memory>
 #include <random>
+
+#include "common/rng.h"
 
 namespace pahoehoe::core {
 
@@ -9,6 +12,9 @@ WorkloadDriver::WorkloadDriver(sim::Simulator& sim, Proxy& proxy,
                                WorkloadConfig config, uint64_t value_seed)
     : sim_(sim), proxy_(proxy), config_(config), value_seed_(value_seed) {
   PAHOEHOE_CHECK(config_.num_puts >= 0 && config_.policy.valid());
+  if (config_.arrivals != ArrivalProcess::kClosedLoop) {
+    PAHOEHOE_CHECK(config_.arrival_rate_per_s > 0.0);
+  }
 }
 
 Key WorkloadDriver::key_for(int object_index) const {
@@ -35,8 +41,34 @@ Bytes WorkloadDriver::value_for(int object_index) const {
 }
 
 void WorkloadDriver::start() {
+  // Arrival times are drawn from a dedicated generator (not the
+  // simulator's) so switching arrival models does not perturb any other
+  // randomness of the run with the same seed.
+  Rng arrival_rng(value_seed_ ^ 0xa11a1a1a5eedULL);
+  const double rate = config_.arrival_rate_per_s;
+  arrivals_.assign(static_cast<size_t>(config_.num_puts), 0);
+  SimTime poisson_clock = config_.start_time;
   for (int i = 0; i < config_.num_puts; ++i) {
-    const SimTime when = config_.start_time + i * config_.spacing;
+    SimTime when = config_.start_time;
+    switch (config_.arrivals) {
+      case ArrivalProcess::kClosedLoop:
+        when = config_.start_time + i * config_.spacing;
+        break;
+      case ArrivalProcess::kOpenFixed:
+        when = config_.start_time +
+               static_cast<SimTime>(std::llround(
+                   static_cast<double>(i) * kMicrosPerSecond / rate));
+        break;
+      case ArrivalProcess::kOpenPoisson: {
+        const double gap_s =
+            -std::log(1.0 - arrival_rng.uniform01()) / rate;
+        poisson_clock += std::max<SimTime>(
+            1, static_cast<SimTime>(std::llround(gap_s * kMicrosPerSecond)));
+        when = poisson_clock;
+        break;
+      }
+    }
+    arrivals_[static_cast<size_t>(i)] = when;
     sim_.schedule_at(when, [this, i] { issue(i, 1); });
   }
 }
@@ -71,6 +103,7 @@ void WorkloadDriver::issue(int object_index, int attempt) {
 void WorkloadDriver::resolve(int object_index, int attempt, bool acked) {
   if (acked) {
     ++successes_;
+    finish_put(object_index, /*acked=*/true);
     maybe_get(object_index);
     return;
   }
@@ -81,7 +114,17 @@ void WorkloadDriver::resolve(int object_index, int attempt, bool acked) {
     });
     return;
   }
+  finish_put(object_index, /*acked=*/false);
   maybe_get(object_index);  // read-your-writes check even for failed puts
+}
+
+void WorkloadDriver::finish_put(int object_index, bool acked) {
+  // Latency runs from the object's first-attempt arrival, not the last
+  // retry's issue time: with retry_failed set, the client-visible latency
+  // of a put is everything since its original arrival.
+  put_latencies_.push_back(OpLatency{
+      object_index, acked, arrivals_[static_cast<size_t>(object_index)],
+      sim_.now()});
 }
 
 void WorkloadDriver::maybe_get(int object_index) {
@@ -89,8 +132,9 @@ void WorkloadDriver::maybe_get(int object_index) {
   // issued only after the object's puts fully resolved.
   if (!sim_.rng().chance(config_.get_fraction)) return;
   sim_.schedule_after(config_.get_delay, [this, object_index] {
+    const SimTime issued = sim_.now();
     proxy_.get(key_for(object_index),
-               [this, object_index](const GetResult& result) {
+               [this, object_index, issued](const GetResult& result) {
                  GetRecord record;
                  record.object_index = object_index;
                  record.completed = result.success;
@@ -99,6 +143,9 @@ void WorkloadDriver::maybe_get(int object_index) {
                    record.ts = result.ts;
                  }
                  get_records_.push_back(record);
+                 get_latencies_.push_back(OpLatency{object_index,
+                                                    result.success, issued,
+                                                    sim_.now()});
                });
   });
 }

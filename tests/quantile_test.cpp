@@ -1,0 +1,155 @@
+// Unit tests for the quantile machinery behind the latency workload: exact
+// percentiles on known samples, sketch-vs-exact error bounds on large
+// samples, and merge associativity across per-seed partials.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace pahoehoe {
+namespace {
+
+TEST(SampleStatsPercentile, KnownSmallSamples) {
+  SampleStats s;
+  EXPECT_EQ(s.percentile(50), 0.0);  // empty
+
+  for (double v : {15.0, 20.0, 35.0, 40.0, 50.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 15.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 35.0);
+  // Linear interpolation: rank 0.25*(5-1) = 1 exactly; 0.30*4 = 1.2.
+  EXPECT_DOUBLE_EQ(s.percentile(25), 20.0);
+  EXPECT_DOUBLE_EQ(s.percentile(30), 23.0);
+
+  SampleStats single;
+  single.add(7.0);
+  EXPECT_DOUBLE_EQ(single.percentile(0), 7.0);
+  EXPECT_DOUBLE_EQ(single.percentile(99), 7.0);
+}
+
+TEST(SampleStatsPercentile, UnsortedInputIsHandled) {
+  SampleStats s;
+  for (double v : {9.0, 1.0, 5.0, 3.0, 7.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 5.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 9.0);
+}
+
+TEST(SampleStatsMerge, EqualsSerialInsertionOrder) {
+  SampleStats a, b, all;
+  for (int i = 0; i < 10; ++i) {
+    a.add(i);
+    all.add(i);
+  }
+  for (int i = 10; i < 25; ++i) {
+    b.add(i * 1.5);
+    all.add(i * 1.5);
+  }
+  SampleStats merged = a;
+  merged.merge(b);
+  EXPECT_EQ(merged.values(), all.values());
+  EXPECT_DOUBLE_EQ(merged.mean(), all.mean());
+}
+
+TEST(QuantileSketch, ExactOnDegenerateInputs) {
+  QuantileSketch s;
+  EXPECT_EQ(s.quantile(0.5), 0.0);  // empty
+  s.add(0.0);
+  s.add(0.0);
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_EQ(s.quantile(0.99), 0.0);  // all zeros
+
+  QuantileSketch one;
+  one.add(3.5);
+  EXPECT_DOUBLE_EQ(one.quantile(0.0), 3.5);  // clamped to exact min/max
+  EXPECT_DOUBLE_EQ(one.quantile(1.0), 3.5);
+}
+
+TEST(QuantileSketch, RelativeErrorBoundOnLargeSample) {
+  const double alpha = 0.01;
+  std::mt19937_64 gen(12345);
+  std::lognormal_distribution<double> dist(0.0, 1.5);
+
+  QuantileSketch sketch(alpha);
+  SampleStats exact;
+  for (int i = 0; i < 200'000; ++i) {
+    const double x = dist(gen);
+    sketch.add(x);
+    exact.add(x);
+  }
+  for (double q : {0.01, 0.10, 0.50, 0.90, 0.95, 0.99, 0.999}) {
+    const double truth = exact.percentile(q * 100.0);
+    const double estimate = sketch.quantile(q);
+    // The bucket guarantee is relative error <= alpha against the value at
+    // the estimated rank; allow 2x slack for the interpolation difference
+    // between the two percentile definitions.
+    EXPECT_NEAR(estimate, truth, truth * 2.0 * alpha) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(sketch.min(), exact.min());
+  EXPECT_DOUBLE_EQ(sketch.max(), exact.max());
+}
+
+TEST(QuantileSketch, MergeMatchesSingleSketch) {
+  std::mt19937_64 gen(99);
+  std::exponential_distribution<double> dist(3.0);
+  QuantileSketch whole;
+  QuantileSketch parts[4] = {QuantileSketch{}, QuantileSketch{},
+                             QuantileSketch{}, QuantileSketch{}};
+  for (int i = 0; i < 40'000; ++i) {
+    const double x = dist(gen);
+    whole.add(x);
+    parts[i % 4].add(x);
+  }
+  QuantileSketch merged;
+  for (const QuantileSketch& part : parts) merged.merge(part);
+  EXPECT_EQ(merged.count(), whole.count());
+  for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    // Bucket-wise addition: merging partials gives the *same* buckets as
+    // one sketch over the whole stream, so quantiles match exactly.
+    EXPECT_DOUBLE_EQ(merged.quantile(q), whole.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(QuantileSketch, MergeIsAssociativeExactly) {
+  std::mt19937_64 gen(7);
+  std::lognormal_distribution<double> dist(1.0, 0.8);
+  QuantileSketch a, b, c;
+  for (int i = 0; i < 5'000; ++i) a.add(dist(gen));
+  for (int i = 0; i < 3'000; ++i) b.add(dist(gen));
+  for (int i = 0; i < 8'000; ++i) c.add(dist(gen));
+
+  QuantileSketch left = a;   // (a ⊎ b) ⊎ c
+  left.merge(b);
+  left.merge(c);
+  QuantileSketch bc = b;     // a ⊎ (b ⊎ c)
+  bc.merge(c);
+  QuantileSketch right = a;
+  right.merge(bc);
+
+  EXPECT_EQ(left.count(), right.count());
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    EXPECT_DOUBLE_EQ(left.quantile(q), right.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(QuantileSketch, MergeWithEmptyIsIdentity) {
+  QuantileSketch a;
+  for (double v : {0.5, 1.0, 2.0}) a.add(v);
+  QuantileSketch empty;
+  QuantileSketch merged = a;
+  merged.merge(empty);
+  EXPECT_EQ(merged.count(), 3u);
+  EXPECT_DOUBLE_EQ(merged.quantile(0.5), a.quantile(0.5));
+
+  QuantileSketch other = empty;
+  other.merge(a);
+  EXPECT_EQ(other.count(), 3u);
+  EXPECT_DOUBLE_EQ(other.quantile(0.5), a.quantile(0.5));
+  EXPECT_DOUBLE_EQ(other.min(), 0.5);
+  EXPECT_DOUBLE_EQ(other.max(), 2.0);
+}
+
+}  // namespace
+}  // namespace pahoehoe
