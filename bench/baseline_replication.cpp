@@ -26,6 +26,8 @@ int main(int argc, char** argv) {
       static_cast<int>(flags.get_int("object-kib", 100, "object size (KiB)"));
   const int jobs = static_cast<int>(
       flags.get_int("jobs", 1, "worker threads for seed dispatch"));
+  const std::string out =
+      flags.get_string("out", "BENCH_baseline.json", "JSON output path");
   flags.finish();
 
   Policy ec;  // the paper's default (k=4, n=12)
@@ -50,6 +52,7 @@ int main(int argc, char** argv) {
   std::printf("%-16s %-12s %14s %14s %12s\n", "scheme", "scenario",
               "bytes (MiB)", "WAN (MiB)", "msgs (10^3)");
 
+  std::vector<bench::Column> columns;
   for (const Scheme& scheme : schemes) {
     for (const bool with_failure : {false, true}) {
       core::RunConfig config = core::paper_default_config();
@@ -61,12 +64,14 @@ int main(int argc, char** argv) {
         config.faults.push_back(core::FaultSpec::fs_blackout(
             0, 0, 0, 10LL * 60 * kMicrosPerSecond));
       }
-      const auto agg = core::run_many(config, seeds, 4000, jobs);
+      auto agg = core::run_many(config, seeds, 4000, jobs);
+      const char* scenario = with_failure ? "1 FS down" : "failure-free";
       std::printf("%-16s %-12s %14.2f %14.2f %12.2f\n", scheme.name,
-                  with_failure ? "1 FS down" : "failure-free",
-                  agg.msg_bytes.mean() / 1048576.0,
+                  scenario, agg.msg_bytes.mean() / 1048576.0,
                   agg.wan_bytes.mean() / 1048576.0,
                   agg.msg_count.mean() / 1e3);
+      columns.push_back(bench::Column{
+          std::string(scheme.name) + " / " + scenario, std::move(agg)});
     }
   }
 
@@ -77,5 +82,7 @@ int main(int argc, char** argv) {
       "fragments (the §4.2 sibling recovery) versus whole-object copies\n"
       "for replication. EC survives 8 simultaneous fragment losses;\n"
       "replication survives 2.\n");
+
+  bench::write_columns_json(out, "baseline_replication", seeds, columns);
   return 0;
 }

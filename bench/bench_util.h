@@ -2,7 +2,8 @@
 //
 // Each bench prints the same series the paper's figure shows: a per-message-
 // type breakdown (the paper's stacked bars) and totals with 95% CIs, one
-// column per experiment configuration.
+// column per experiment configuration — plus the single JSON emission path
+// (obs::JsonWriter) every BENCH_*.json file goes through.
 #pragma once
 
 #include <cstdio>
@@ -10,6 +11,7 @@
 #include <vector>
 
 #include "core/harness.h"
+#include "obs/json.h"
 
 namespace pahoehoe::bench {
 
@@ -88,6 +90,86 @@ inline void print_wan_row(const std::vector<Column>& columns) {
     std::printf(" %12.2f", col.agg.wan_bytes.mean() / (1024.0 * 1024.0));
   }
   std::printf("\n");
+}
+
+// --- shared JSON emission ---------------------------------------------------
+
+/// {"mean": …, "ci95": …} of one per-seed statistic, values scaled.
+inline void json_stat(obs::JsonWriter& w, const SampleStats& stat,
+                      double scale = 1.0) {
+  w.begin_object();
+  w.kv("mean", stat.mean() * scale);
+  w.kv("ci95", stat.ci95_halfwidth() * scale);
+  w.end_object();
+}
+
+/// {"count": …, "p50": …, "p95": …, "p99": …, "max": …} of one pooled
+/// distribution, quantiles scaled (e.g. 1e3 for seconds → ms).
+inline void json_quantiles(obs::JsonWriter& w, const QuantileSketch& sketch,
+                           double scale = 1.0) {
+  w.begin_object();
+  w.kv("count", sketch.count());
+  w.kv("p50", sketch.quantile(0.50) * scale);
+  w.kv("p95", sketch.quantile(0.95) * scale);
+  w.kv("p99", sketch.quantile(0.99) * scale);
+  w.kv("max", sketch.max() * scale);
+  w.end_object();
+}
+
+/// One column's aggregate as a JSON object: totals with CIs, workload
+/// outcome counts, and the non-zero per-message-type breakdown. The common
+/// shape shared by every figure bench (fig5–9 and the baseline), so their
+/// JSON differs only in what the columns sweep over.
+inline void json_column(obs::JsonWriter& w, const Column& col) {
+  w.begin_object();
+  w.kv("label", col.label);
+  w.key("msgs");
+  json_stat(w, col.agg.msg_count);
+  w.key("bytes");
+  json_stat(w, col.agg.msg_bytes);
+  w.key("wan_bytes");
+  json_stat(w, col.agg.wan_bytes);
+  w.key("puts_attempted");
+  json_stat(w, col.agg.puts_attempted);
+  w.key("puts_acked");
+  json_stat(w, col.agg.puts_acked);
+  w.key("excess_amr");
+  json_stat(w, col.agg.excess_amr);
+  w.key("non_durable");
+  json_stat(w, col.agg.non_durable);
+  w.key("by_type");
+  w.begin_object();
+  for (int t = 0; t < wire::kMessageTypeCount; ++t) {
+    const auto& count = col.agg.count_by_type[static_cast<size_t>(t)];
+    const auto& bytes = col.agg.bytes_by_type[static_cast<size_t>(t)];
+    if (count.mean() <= 0) continue;
+    w.key(wire::to_string(static_cast<wire::MessageType>(t)));
+    w.begin_object();
+    w.kv("msgs", count.mean());
+    w.kv("bytes", bytes.mean());
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+/// The standard bench document: {"bench", "seeds", "columns": […]}.
+/// Returns false (after a stderr note) on I/O failure.
+inline bool write_columns_json(const std::string& path,
+                               const std::string& bench_name, int seeds,
+                               const std::vector<Column>& columns) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("bench", bench_name);
+  w.kv("seeds", seeds);
+  w.key("columns");
+  w.begin_array();
+  for (const Column& col : columns) json_column(w, col);
+  w.end_array();
+  w.end_object();
+  if (!w.write_file(path)) return false;
+  std::printf("\nwrote %s\n", path.c_str());
+  return true;
 }
 
 }  // namespace pahoehoe::bench

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/flags.h"
 #include "core/harness.h"
 
@@ -47,43 +48,30 @@ double ms(double seconds) { return seconds * 1e3; }
 
 void write_json(const std::string& path, const std::vector<Point>& points,
                 int seeds, double duration_s, bool poisson) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", path.c_str());
-    return;
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("bench", "capacity_planning");
+  w.kv("arrivals", poisson ? "poisson" : "fixed");
+  w.kv("seeds", seeds);
+  w.kv("duration_s", duration_s);
+  w.key("points");
+  w.begin_array();
+  for (const Point& p : points) {
+    w.begin_object();
+    w.kv("rate_per_s", p.rate_per_s);
+    w.kv("value_kib", p.value_kib);
+    w.kv("puts_attempted", p.agg.puts_attempted.mean());
+    w.kv("puts_acked", p.agg.puts_acked.mean());
+    w.kv("achieved_put_rate_per_s", p.agg.puts_acked.mean() / duration_s);
+    w.key("put_latency_ms");
+    bench::json_quantiles(w, p.agg.put_latency_s, 1e3);
+    w.key("get_latency_ms");
+    bench::json_quantiles(w, p.agg.get_latency_s, 1e3);
+    w.end_object();
   }
-  std::fprintf(f,
-               "{\n"
-               "  \"bench\": \"capacity_planning\",\n"
-               "  \"arrivals\": \"%s\",\n"
-               "  \"seeds\": %d,\n"
-               "  \"duration_s\": %g,\n"
-               "  \"points\": [\n",
-               poisson ? "poisson" : "fixed", seeds, duration_s);
-  for (size_t i = 0; i < points.size(); ++i) {
-    const Point& p = points[i];
-    const auto& put = p.agg.put_latency_s;
-    const auto& get = p.agg.get_latency_s;
-    std::fprintf(
-        f,
-        "    {\"rate_per_s\": %g, \"value_kib\": %d,\n"
-        "     \"puts_attempted\": %.2f, \"puts_acked\": %.2f,\n"
-        "     \"achieved_put_rate_per_s\": %.4f,\n"
-        "     \"put_latency_ms\": {\"count\": %llu, \"p50\": %.3f, "
-        "\"p95\": %.3f, \"p99\": %.3f, \"max\": %.3f},\n"
-        "     \"get_latency_ms\": {\"count\": %llu, \"p50\": %.3f, "
-        "\"p95\": %.3f, \"p99\": %.3f, \"max\": %.3f}}%s\n",
-        p.rate_per_s, p.value_kib, p.agg.puts_attempted.mean(),
-        p.agg.puts_acked.mean(), p.agg.puts_acked.mean() / duration_s,
-        static_cast<unsigned long long>(put.count()), ms(put.quantile(0.50)),
-        ms(put.quantile(0.95)), ms(put.quantile(0.99)), ms(put.max()),
-        static_cast<unsigned long long>(get.count()), ms(get.quantile(0.50)),
-        ms(get.quantile(0.95)), ms(get.quantile(0.99)), ms(get.max()),
-        i + 1 < points.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
-  std::printf("\nwrote %s\n", path.c_str());
+  w.end_array();
+  w.end_object();
+  if (w.write_file(path)) std::printf("\nwrote %s\n", path.c_str());
 }
 
 int run(int argc, char** argv) {

@@ -103,6 +103,8 @@ int run(int argc, char** argv) {
                                       "marginal effect with the others on");
   const int jobs = static_cast<int>(
       flags.get_int("jobs", 1, "worker threads for seed dispatch"));
+  const std::string out =
+      flags.get_string("out", "BENCH_fig5.json", "JSON output path");
   flags.finish();
 
   core::RunConfig config = core::paper_default_config();
@@ -163,6 +165,8 @@ int run(int argc, char** argv) {
     std::printf("\n");
     bench::print_ratios(ab, Metric::kCount, 0);
   }
+
+  bench::write_columns_json(out, "fig5_failure_free", seeds, columns);
   return 0;
 }
 

@@ -23,6 +23,8 @@ int main(int argc, char** argv) {
       flags.get_int("max-failures", 4, "maximum simultaneous FS failures"));
   const int jobs = static_cast<int>(
       flags.get_int("jobs", 1, "worker threads for seed dispatch"));
+  const std::string out =
+      flags.get_string("out", "BENCH_fig6.json", "JSON output path");
   flags.finish();
 
   core::RunConfig config = core::paper_default_config();
@@ -42,5 +44,7 @@ int main(int argc, char** argv) {
                 col.agg.msg_count.mean() / 1e3,
                 col.agg.msg_count.ci95_halfwidth() / 1e3);
   }
+
+  bench::write_columns_json(out, "fig6_fs_failures_msgs", seeds, columns);
   return 0;
 }

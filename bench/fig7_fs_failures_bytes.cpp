@@ -22,6 +22,8 @@ int main(int argc, char** argv) {
       flags.get_int("max-failures", 4, "maximum simultaneous FS failures"));
   const int jobs = static_cast<int>(
       flags.get_int("jobs", 1, "worker threads for seed dispatch"));
+  const std::string out =
+      flags.get_string("out", "BENCH_fig7.json", "JSON output path");
   flags.finish();
 
   core::RunConfig config = core::paper_default_config();
@@ -41,5 +43,7 @@ int main(int argc, char** argv) {
                 col.agg.msg_bytes.mean() / (1024.0 * 1024.0),
                 col.agg.msg_bytes.ci95_halfwidth() / (1024.0 * 1024.0));
   }
+
+  bench::write_columns_json(out, "fig7_fs_failures_bytes", seeds, columns);
   return 0;
 }

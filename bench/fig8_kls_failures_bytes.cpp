@@ -21,6 +21,8 @@ int main(int argc, char** argv) {
       static_cast<int>(flags.get_int("object-kib", 100, "object size (KiB)"));
   const int jobs = static_cast<int>(
       flags.get_int("jobs", 1, "worker threads for seed dispatch"));
+  const std::string out =
+      flags.get_string("out", "BENCH_fig8.json", "JSON output path");
   flags.finish();
 
   core::RunConfig config = core::paper_default_config();
@@ -43,5 +45,7 @@ int main(int argc, char** argv) {
                 col.agg.msg_bytes.ci95_halfwidth() / (1024.0 * 1024.0),
                 col.agg.wan_bytes.mean() / (1024.0 * 1024.0));
   }
+
+  bench::write_columns_json(out, "fig8_kls_failures_bytes", seeds, columns);
   return 0;
 }

@@ -27,6 +27,8 @@ int main(int argc, char** argv) {
   const double step = flags.get_double("step", 0.025, "drop-rate step");
   const int jobs = static_cast<int>(
       flags.get_int("jobs", 1, "worker threads for seed dispatch"));
+  const std::string out =
+      flags.get_string("out", "BENCH_fig9.json", "JSON output path");
   flags.finish();
 
   core::RunConfig config = core::paper_default_config();
@@ -45,9 +47,10 @@ int main(int argc, char** argv) {
   std::printf("%8s %26s %26s %26s %16s\n", "", "mean   [min, max]",
               "mean   [min, max]", "mean   [min, max]", "mean");
 
+  std::vector<bench::Column> columns;
   for (double rate = 0.0; rate <= max_rate + 1e-9; rate += step) {
     config.faults = {core::FaultSpec::uniform_loss(rate)};
-    const core::AggregateResult agg = core::run_many(config, seeds, 900, jobs);
+    core::AggregateResult agg = core::run_many(config, seeds, 900, jobs);
     std::printf("%7.1f%% %10.1f [%5.0f,%5.0f] %10.1f [%5.0f,%5.0f] "
                 "%10.2f [%5.0f,%5.0f] %16.2f\n",
                 rate * 100, agg.puts_attempted.mean(),
@@ -56,10 +59,15 @@ int main(int argc, char** argv) {
                 agg.excess_amr.max(), agg.non_durable.mean(),
                 agg.non_durable.min(), agg.non_durable.max(),
                 agg.durable_not_amr.mean());
+    char label[32];
+    std::snprintf(label, sizeof(label), "drop=%.1f%%", rate * 100);
+    columns.push_back(bench::Column{label, std::move(agg)});
   }
   std::printf(
       "\nNote: durable-not-AMR must be zero everywhere — every durable "
       "version eventually reaches AMR (the eventual-consistency "
       "guarantee).\n");
+
+  bench::write_columns_json(out, "fig9_lossy_network", seeds, columns);
   return 0;
 }

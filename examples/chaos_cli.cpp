@@ -46,6 +46,11 @@ int main(int argc, char** argv) {
       flags.get_bool("shrink", true, "shrink failing schedules");
   sweep.shrink.max_runs = static_cast<int>(
       flags.get_int("shrink-runs", 400, "re-run budget per shrink"));
+  sweep.trace_capacity = static_cast<size_t>(flags.get_int(
+      "trace-capacity", 512,
+      "message-trace ring per run; failing seeds print the tail (0 = off)"));
+  sweep.trace_dump_lines = static_cast<size_t>(flags.get_int(
+      "trace-lines", 40, "trace lines in a failing seed's forensics"));
 
   core::RunConfig config = chaos::chaos_default_config();
   const bool scrub = flags.get_bool(

@@ -7,6 +7,38 @@
 
 namespace pahoehoe::chaos {
 
+namespace {
+
+/// Compact digest of the convergence counters that matter when diagnosing a
+/// violated invariant, followed by the trailing trace window.
+std::string build_forensics(const core::RunResult& run,
+                            size_t trace_dump_lines) {
+  const auto sum = [&run](const char* name) {
+    return static_cast<unsigned long long>(run.metrics.counter_sum(name));
+  };
+  char line[256];
+  std::snprintf(
+      line, sizeof(line),
+      "metrics: rounds=%llu steps=%llu amr_skips=%llu converged=%llu "
+      "giveups=%llu backoffs=%llu scrub_repairs=%llu amr_backlog=%zu\n",
+      sum("fs_rounds_total"), sum("fs_converge_steps_total"),
+      sum("fs_amr_skips_total"), sum("fs_converged_total"),
+      sum("fs_giveups_total"), sum("fs_recovery_backoffs_total"),
+      sum("fs_scrub_repairs_total"), run.amr_backlog_final);
+  std::string out = line;
+  if (!run.trace_tail.empty()) {
+    std::snprintf(line, sizeof(line),
+                  "trace tail (last %zu lines, %llu overflowed):\n",
+                  trace_dump_lines,
+                  static_cast<unsigned long long>(run.trace_overflowed));
+    out += line;
+    out += run.trace_tail;
+  }
+  return out;
+}
+
+}  // namespace
+
 std::string SweepResult::summary() const {
   char line[128];
   std::snprintf(line, sizeof(line),
@@ -21,6 +53,7 @@ std::string SweepResult::summary() const {
                   outcome.schedule.size(), outcome.shrunk.size());
     out += line;
     out += outcome.audit.to_string();
+    out += outcome.forensics;
     if (!outcome.shrunk.empty()) {
       out += "minimal repro (seed ";
       out += std::to_string(outcome.seed);
@@ -56,10 +89,15 @@ SweepResult run_sweep(core::RunConfig config, const SweepOptions& options) {
     core::RunConfig seed_config = config;
     seed_config.seed = outcome.seed;
     seed_config.faults = outcome.schedule;
+    seed_config.telemetry.trace_capacity = options.trace_capacity;
+    seed_config.telemetry.trace_dump_lines = options.trace_dump_lines;
     core::RunResult run = core::run_experiment(seed_config);
     int runs = 1;
     outcome.audit = run.audit;
     outcome.passed = run.audit.passed();
+    if (!outcome.passed) {
+      outcome.forensics = build_forensics(run, options.trace_dump_lines);
+    }
 
     if (!outcome.passed && options.shrink_failures) {
       ShrinkResult shrunk =

@@ -22,6 +22,12 @@ struct SweepOptions {
   ScheduleOptions schedule;
   bool shrink_failures = true;
   ShrinkOptions shrink;
+  /// Trace ring capacity installed into every seed's run (0 disables). A
+  /// failing seed's outcome then carries the trailing trace window plus a
+  /// metrics digest as forensics. Kept modest by default: the window is for
+  /// "what happened right before the violation", not whole-run capture.
+  size_t trace_capacity = 512;
+  size_t trace_dump_lines = 40;
   /// Progress hook, called after each seed completes (may be empty).
   /// Called under a lock, but in completion order, which for jobs > 1 is
   /// not seed order.
@@ -37,6 +43,9 @@ struct SeedOutcome {
   /// Filled only for failures when shrink_failures is set.
   std::vector<core::FaultSpec> shrunk;
   int shrink_runs = 0;
+  /// Failures only: metrics digest + trailing trace window of the original
+  /// (unshrunk) failing run, for debugging without a re-run.
+  std::string forensics;
 };
 
 struct SweepResult {

@@ -12,6 +12,17 @@ FragmentServer::FragmentServer(sim::Simulator& sim, net::Network& net,
                                ConvergenceOptions options)
     : Server(sim, net, std::move(view), id, NodeKind::kFs, dc),
       options_(options) {
+  obs::MetricRegistry& metrics = telemetry().metrics;
+  const obs::Labels labels = node_label();
+  m_rounds_ = &metrics.counter("fs_rounds_total", labels);
+  m_steps_ = &metrics.counter("fs_converge_steps_total", labels);
+  m_amr_skips_ = &metrics.counter("fs_amr_skips_total", labels);
+  m_converged_ = &metrics.counter("fs_converged_total", labels);
+  m_giveups_ = &metrics.counter("fs_giveups_total", labels);
+  m_backoffs_ = &metrics.counter("fs_recovery_backoffs_total", labels);
+  m_recoveries_ = &metrics.counter("fs_recoveries_total", labels);
+  m_scrub_repairs_ = &metrics.counter("fs_scrub_repairs_total", labels);
+  m_converge_attempts_ = &metrics.histogram("fs_converge_attempts", labels);
   schedule_scrub();
 }
 
@@ -179,6 +190,7 @@ void FragmentServer::ensure_round_scheduled() {
 void FragmentServer::start_round() {
   round_timer_ = 0;
   ++rounds_run_;
+  m_rounds_->inc();
   // Fig 4: a convergence step for every object version not yet verified AMR.
   for (const ObjectVersionId& ov : store_meta_.all_versions()) {
     Work& work = work_for(ov);
@@ -191,6 +203,7 @@ void FragmentServer::start_round() {
       store_meta_.erase(ov);
       work_.erase(ov);
       ++versions_given_up_;
+      m_giveups_->inc();
       continue;
     }
     converge_step(ov, work);
@@ -201,6 +214,7 @@ void FragmentServer::start_round() {
 void FragmentServer::converge_step(const ObjectVersionId& ov, Work& work) {
   const Metadata* meta = store_meta_.find(ov);
   PAHOEHOE_CHECK(meta != nullptr);
+  m_steps_->inc();
   bump_backoff(work);
 
   if (!meta->complete()) {
@@ -433,6 +447,7 @@ void FragmentServer::recovery_maybe_finish(const ObjectVersionId& ov,
     }
   }
   ++recoveries_completed_;
+  m_recoveries_->inc();
   clear_recovery_state(work);
   work.next_attempt = sim_.now();  // verify at the next round
   ensure_round_scheduled();
@@ -500,6 +515,7 @@ void FragmentServer::cancel_recovery(const ObjectVersionId& ov, Work& work) {
   if (!work.recovering) return;
   clear_recovery_state(work);
   ++recovery_backoffs_;
+  m_backoffs_->inc();
   ensure_round_scheduled();
 }
 
@@ -522,10 +538,15 @@ void FragmentServer::check_amr(const ObjectVersionId& ov, Work& work) {
 void FragmentServer::mark_amr(const ObjectVersionId& ov) {
   const Metadata meta = *store_meta_.find(ov);
   auto wit = work_.find(ov);
-  if (wit != work_.end()) clear_recovery_state(wit->second);
+  if (wit != work_.end()) {
+    clear_recovery_state(wit->second);
+    m_converge_attempts_->observe(wit->second.attempts);
+  }
   work_.erase(ov);
   store_meta_.erase(ov);
   ++versions_converged_;
+  m_converged_->inc();
+  telemetry().amr.on_amr_confirmed(ov, sim_.now());
   if (options_.fs_amr_indication) {
     // §4.1: tell the siblings so they skip their own convergence steps.
     for (NodeId fs : meta.sibling_fs()) {
@@ -647,6 +668,11 @@ void FragmentServer::on_kls_converge_rep(NodeId from,
 
 void FragmentServer::on_amr_indication(const wire::AmrIndication& msg) {
   // §4.1: the version is AMR; drop it from the work-list (fragments stay).
+  // Count as a skip only when the indication actually removed pending
+  // convergence work — the rounds-saved quantity Fig 5 prices in.
+  if (work_.count(msg.ov) > 0 || store_meta_.contains(msg.ov)) {
+    m_amr_skips_->inc();
+  }
   auto wit = work_.find(msg.ov);
   if (wit != work_.end()) {
     clear_recovery_state(wit->second);
@@ -758,7 +784,10 @@ size_t FragmentServer::scrub() {
     work_.try_emplace(ov);
     ++readded;
   }
-  if (readded > 0) ensure_round_scheduled();
+  if (readded > 0) {
+    m_scrub_repairs_->inc(readded);
+    ensure_round_scheduled();
+  }
   return readded;
 }
 

@@ -154,6 +154,17 @@ class FragmentServer : public Server {
   uint64_t recoveries_completed_ = 0;
   uint64_t recovery_backoffs_ = 0;
   uint64_t rounds_run_ = 0;
+
+  // Registry handles (labeled {node}); cached once in the constructor.
+  obs::Counter* m_rounds_ = nullptr;
+  obs::Counter* m_steps_ = nullptr;
+  obs::Counter* m_amr_skips_ = nullptr;
+  obs::Counter* m_converged_ = nullptr;
+  obs::Counter* m_giveups_ = nullptr;
+  obs::Counter* m_backoffs_ = nullptr;
+  obs::Counter* m_recoveries_ = nullptr;
+  obs::Counter* m_scrub_repairs_ = nullptr;
+  obs::Histogram* m_converge_attempts_ = nullptr;
 };
 
 }  // namespace pahoehoe::core

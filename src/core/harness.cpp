@@ -1,6 +1,7 @@
 #include "core/harness.h"
 
 #include <cstdio>
+#include <optional>
 #include <set>
 #include <unordered_set>
 
@@ -172,6 +173,8 @@ const char* to_string(InvariantViolation::Kind kind) {
       return "event-budget";
     case InvariantViolation::Kind::kMessageBudget:
       return "message-budget";
+    case InvariantViolation::Kind::kTelemetryDrift:
+      return "telemetry-drift";
   }
   return "?";
 }
@@ -274,6 +277,11 @@ void install_fault(const FaultSpec& spec, Cluster& cluster,
 RunResult run_experiment(const RunConfig& config) {
   sim::Simulator sim(config.seed);
   net::Network net(sim, config.network);
+  // Tracing must start before any traffic: the stats-vs-tracer
+  // reconciliation below only holds when the tracer saw the whole run.
+  if (config.telemetry.trace_capacity > 0) {
+    net.tracer().enable(config.telemetry.trace_capacity);
+  }
   Cluster cluster(sim, net, config.topology, config.convergence,
                   config.proxy);
   for (const FaultSpec& fault : config.faults) {
@@ -283,6 +291,22 @@ RunResult run_experiment(const RunConfig& config) {
   WorkloadDriver driver(sim, cluster.proxy(0), config.workload,
                         /*value_seed=*/config.seed * 7919 + 17);
   driver.start();
+
+  std::optional<obs::Sampler> sampler;
+  if (config.telemetry.sample_interval > 0) {
+    sampler.emplace(
+        sim, config.telemetry.sample_interval,
+        std::vector<std::string>{"amr_backlog", "pending_versions",
+                                 "msgs_sent", "bytes_sent"},
+        [&net, &cluster](SimTime) -> std::vector<double> {
+          return {static_cast<double>(net.telemetry().amr.backlog()),
+                  static_cast<double>(cluster.total_pending_versions()),
+                  static_cast<double>(net.stats().total_sent_count()),
+                  static_cast<double>(net.stats().total_sent_bytes())};
+        },
+        config.telemetry.max_samples);
+  }
+
   sim.run(config.max_sim_time);
 
   RunResult result;
@@ -385,6 +409,30 @@ RunResult run_experiment(const RunConfig& config) {
   for (int i = 0; i < cluster.num_fs(); ++i) {
     result.given_up += static_cast<int>(cluster.fs(i).versions_given_up());
   }
+
+  // --- telemetry: reconcile, snapshot, and (on failure) capture forensics --
+  if (const std::string drift = net.trace_consistency_report();
+      !drift.empty()) {
+    result.audit.violations.push_back(
+        {InvariantViolation::Kind::kTelemetryDrift, ObjectVersionId{}, drift});
+  }
+
+  obs::Telemetry& tel = net.telemetry();
+  tel.metrics.gauge("amr_backlog").set(static_cast<double>(tel.amr.backlog()));
+  tel.metrics.gauge("amr_backlog_peak")
+      .set(static_cast<double>(tel.amr.backlog_peak()));
+  tel.metrics.counter("amr_acked_total").inc(tel.amr.acked());
+  tel.metrics.counter("amr_confirmed_total").inc(tel.amr.confirmed());
+  result.metrics = tel.metrics;
+  result.time_to_amr_s = tel.amr.latency_s();
+  result.amr_confirmed = tel.amr.confirmed();
+  result.amr_backlog_final = tel.amr.backlog();
+  result.amr_backlog_peak = tel.amr.backlog_peak();
+  if (sampler.has_value()) result.timeline = sampler->series();
+  if (!result.audit.passed() && net.tracer().enabled()) {
+    result.trace_tail = net.tracer().dump(config.telemetry.trace_dump_lines);
+    result.trace_overflowed = net.tracer().overflowed();
+  }
   return result;
 }
 
@@ -431,6 +479,11 @@ AggregateResult run_many(RunConfig config, int num_seeds, uint64_t base_seed,
       agg.put_latency_mean_s.add(seed_put_latency.mean());
     }
     for (double latency : r.get_latency_s) agg.get_latency_s.add(latency);
+    agg.metrics.merge(r.metrics);
+    agg.time_to_amr_s.merge(r.time_to_amr_s);
+    agg.timeline.merge_aligned(r.timeline);
+    agg.amr_confirmed.add(static_cast<double>(r.amr_confirmed));
+    agg.amr_backlog_final.add(static_cast<double>(r.amr_backlog_final));
   }
   return agg;
 }

@@ -13,6 +13,8 @@
 #include "core/config.h"
 #include "core/workload.h"
 #include "net/network.h"
+#include "obs/sampler.h"
+#include "obs/telemetry.h"
 
 namespace pahoehoe::core {
 
@@ -65,12 +67,34 @@ struct FaultSpec {
 /// RunConfig's fault list (the shrinker's repro output).
 std::string to_repro_string(const FaultSpec& spec);
 
+/// Observability knobs for one run. Everything defaults off: the figure
+/// benches and chaos sweeps opt in to exactly what they need, and a run
+/// with telemetry off is event-for-event identical to the pre-telemetry
+/// harness.
+struct TelemetryOptions {
+  /// Periodic metric sampling interval (sim time); 0 disables the sampler.
+  /// Samples are taken on the simulation's own event queue at k * interval
+  /// and stop once the rest of the queue drains — note the sampler's
+  /// events are counted by RunResult::events and can extend end_time by up
+  /// to one interval (see DESIGN.md).
+  SimTime sample_interval = 0;
+  size_t max_samples = 4096;
+  /// Enable net::Tracer with this ring capacity; 0 disables. When on, the
+  /// run cross-checks NetworkStats against the tracer's cumulative tallies
+  /// and reports any drift as a kTelemetryDrift audit violation, and a
+  /// failed audit attaches the trailing trace window to the RunResult.
+  size_t trace_capacity = 0;
+  /// Trace lines kept in the forensics dump of a failed run.
+  size_t trace_dump_lines = 40;
+};
+
 struct RunConfig {
   ClusterTopology topology;
   ConvergenceOptions convergence;
   ProxyOptions proxy;
   WorkloadConfig workload;
   net::NetworkConfig network;
+  TelemetryOptions telemetry;
   std::vector<FaultSpec> faults;
   uint64_t seed = 1;
   /// Hard stop; generous enough for the two-month give-up horizon.
@@ -92,6 +116,7 @@ struct InvariantViolation {
     kNotQuiescent,      ///< convergence work still pending at the horizon
     kEventBudget,       ///< simulator executed more events than budgeted
     kMessageBudget,     ///< network sent more messages than budgeted
+    kTelemetryDrift,    ///< NetworkStats disagreed with the tracer's tallies
   };
 
   Kind kind;
@@ -143,6 +168,22 @@ struct RunResult {
   std::vector<double> get_latency_s;
 
   AuditReport audit;
+
+  // --- telemetry (always populated; sampler/tracer fields only when the
+  // corresponding TelemetryOptions knob was on) ----------------------------
+  /// Final snapshot of every metric the run registered.
+  obs::MetricRegistry metrics;
+  /// Periodic samples (empty unless telemetry.sample_interval > 0).
+  obs::TimeSeries timeline;
+  /// Put-ack → AMR-confirmation latency distribution (seconds).
+  QuantileSketch time_to_amr_s;
+  uint64_t amr_confirmed = 0;     ///< versions some node confirmed AMR
+  size_t amr_backlog_final = 0;   ///< acked-but-not-yet-AMR at run end
+  size_t amr_backlog_peak = 0;
+  /// Forensics: trailing trace window, captured only when the audit failed
+  /// and telemetry.trace_capacity was > 0.
+  std::string trace_tail;
+  uint64_t trace_overflowed = 0;  ///< records evicted from the trace ring
 };
 
 /// Build a cluster, run the workload under the faults, drive the simulation
@@ -170,6 +211,17 @@ struct AggregateResult {
   QuantileSketch put_latency_s;
   QuantileSketch get_latency_s;
   SampleStats put_latency_mean_s;
+
+  // --- telemetry ----------------------------------------------------------
+  /// Per-seed registries merged in seed order (counters add, gauges add,
+  /// histograms bucket-merge) — byte-identical for every jobs value.
+  obs::MetricRegistry metrics;
+  /// Pooled put-ack → AMR latency across all seeds (seconds).
+  QuantileSketch time_to_amr_s;
+  /// Row-aligned mean of per-seed timelines (empty unless sampling was on).
+  obs::TimeSeries timeline;
+  SampleStats amr_confirmed;
+  SampleStats amr_backlog_final;
 };
 
 /// Run `config` under seeds base_seed, base_seed+1, … and aggregate.

@@ -7,22 +7,37 @@ namespace pahoehoe::core {
 KeyLookupServer::KeyLookupServer(sim::Simulator& sim, net::Network& net,
                                  std::shared_ptr<const ClusterView> view,
                                  NodeId id, DataCenterId dc)
-    : Server(sim, net, std::move(view), id, NodeKind::kKls, dc) {}
+    : Server(sim, net, std::move(view), id, NodeKind::kKls, dc) {
+  obs::MetricRegistry& metrics = telemetry().metrics;
+  obs::Labels labels = node_label();
+  labels.emplace_back("op", "decide_locs");
+  m_decide_locs_ = &metrics.counter("kls_requests_total", labels);
+  labels.back().second = "store_metadata";
+  m_store_metadata_ = &metrics.counter("kls_requests_total", labels);
+  labels.back().second = "retrieve_ts";
+  m_retrieve_ts_ = &metrics.counter("kls_requests_total", labels);
+  labels.back().second = "converge";
+  m_converge_ = &metrics.counter("kls_requests_total", labels);
+}
 
 void KeyLookupServer::dispatch(const wire::Envelope& env) {
   using wire::MessageType;
   switch (env.type) {
     case MessageType::kDecideLocsReq:
     case MessageType::kFsDecideLocsReq:
+      m_decide_locs_->inc();
       on_decide_locs(env.from, wire::DecideLocsReq::decode(env.payload));
       break;
     case MessageType::kStoreMetadataReq:
+      m_store_metadata_->inc();
       on_store_metadata(env.from, wire::StoreMetadataReq::decode(env.payload));
       break;
     case MessageType::kRetrieveTsReq:
+      m_retrieve_ts_->inc();
       on_retrieve_ts(env.from, wire::RetrieveTsReq::decode(env.payload));
       break;
     case MessageType::kKlsConvergeReq:
+      m_converge_->inc();
       on_kls_converge(env.from, wire::KlsConvergeReq::decode(env.payload));
       break;
     default:

@@ -46,6 +46,12 @@ class KeyLookupServer : public Server {
   storage::TimestampStore store_ts_;
   storage::MetaStore store_meta_;
   uint64_t decide_locs_served_ = 0;
+
+  // Registry handles (labeled {node, op}); cached once in the constructor.
+  obs::Counter* m_decide_locs_ = nullptr;
+  obs::Counter* m_store_metadata_ = nullptr;
+  obs::Counter* m_retrieve_ts_ = nullptr;
+  obs::Counter* m_converge_ = nullptr;
 };
 
 }  // namespace pahoehoe::core

@@ -72,7 +72,22 @@ Proxy::Proxy(sim::Simulator& sim, net::Network& net,
              std::shared_ptr<const ClusterView> view, NodeId id,
              DataCenterId dc, ProxyOptions options)
     : Server(sim, net, std::move(view), id, NodeKind::kProxy, dc),
-      options_(options) {}
+      options_(options) {
+  obs::MetricRegistry& metrics = telemetry().metrics;
+  obs::Labels labels = node_label();
+  labels.emplace_back("result", "acked");
+  m_puts_acked_ = &metrics.counter("proxy_puts_total", labels);
+  labels.back().second = "failed";
+  m_puts_failed_ = &metrics.counter("proxy_puts_total", labels);
+  labels.back().second = "ok";
+  m_gets_ok_ = &metrics.counter("proxy_gets_total", labels);
+  labels.back().second = "failed";
+  m_gets_failed_ = &metrics.counter("proxy_gets_total", labels);
+  m_amr_concluded_ =
+      &metrics.counter("proxy_amr_concluded_total", node_label());
+  m_amr_indications_ =
+      &metrics.counter("proxy_amr_indications_total", node_label());
+}
 
 Proxy::~Proxy() = default;
 
@@ -206,6 +221,8 @@ void Proxy::put_maybe_reply(PutOp& op) {
   }
   op.replied = true;
   ++puts_succeeded_;
+  m_puts_acked_->inc();
+  telemetry().amr.on_put_acked(op.ov, sim_.now());
   op.callback(PutResult{true, op.ov, static_cast<int>(op.acked_frags.size())});
 }
 
@@ -217,10 +234,13 @@ void Proxy::put_check_amr(PutOp& op) {
   if (op.acked_frags.size() != op.meta.locs.size()) return;
   if (op.acked_kls.size() != view_->all_kls.size()) return;
   op.amr_sent = true;
+  m_amr_concluded_->inc();
+  telemetry().amr.on_amr_confirmed(op.ov, sim_.now());
   if (options_.put_amr_indication) {
     for (NodeId fs : op.meta.sibling_fs()) {
       send(fs, wire::AmrIndication{op.ov});
       ++amr_indications_sent_;
+      m_amr_indications_->inc();
     }
   }
   finish_put(op.ov);
@@ -233,6 +253,7 @@ void Proxy::finish_put(const ObjectVersionId& ov) {
   sim_.cancel(op.timeout);
   if (!op.replied) {
     ++puts_failed_;
+    m_puts_failed_->inc();
     op.callback(
         PutResult{false, op.ov, static_cast<int>(op.acked_frags.size())});
   }
@@ -394,6 +415,7 @@ void Proxy::on_retrieve_frag_rep(NodeId /*from*/,
 void Proxy::finish_get(const Key& key, GetResult result) {
   auto it = gets_.find(key);
   if (it == gets_.end()) return;
+  (result.success ? m_gets_ok_ : m_gets_failed_)->inc();
   sim_.cancel(it->second->timeout);
   GetCallback callback = std::move(it->second->callback);
   gets_.erase(it);

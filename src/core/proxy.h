@@ -103,6 +103,15 @@ class Proxy : public Server {
   uint64_t puts_failed_ = 0;
   uint64_t gets_started_ = 0;
   uint64_t amr_indications_sent_ = 0;
+
+  // Registry handles (labeled {node}, plus {result} where it applies);
+  // cached once in the constructor.
+  obs::Counter* m_puts_acked_ = nullptr;
+  obs::Counter* m_puts_failed_ = nullptr;
+  obs::Counter* m_gets_ok_ = nullptr;
+  obs::Counter* m_gets_failed_ = nullptr;
+  obs::Counter* m_amr_concluded_ = nullptr;
+  obs::Counter* m_amr_indications_ = nullptr;
 };
 
 }  // namespace pahoehoe::core

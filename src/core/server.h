@@ -58,6 +58,15 @@ class Server : public net::MessageHandler {
     net::send_message(net_, id_, to, msg);
   }
 
+  /// Run-wide telemetry (metric registry + AMR tracker), shared via the
+  /// network. Servers register their counters in their constructors and
+  /// cache the returned handles.
+  obs::Telemetry& telemetry() { return net_.telemetry(); }
+  /// The {node=...} label every per-server metric carries.
+  obs::Labels node_label() const {
+    return {{"node", pahoehoe::to_string(id_)}};
+  }
+
   sim::Simulator& sim_;
   net::Network& net_;
   std::shared_ptr<const ClusterView> view_;

@@ -22,6 +22,7 @@
 
 #include "common/types.h"
 #include "net/trace.h"
+#include "obs/telemetry.h"
 #include "sim/simulator.h"
 #include "wire/messages.h"
 
@@ -112,6 +113,8 @@ class NetworkStats {
   const TypeStats& of(wire::MessageType type) const;
   uint64_t total_sent_count() const;
   uint64_t total_sent_bytes() const;
+  uint64_t total_dropped_count() const;
+  uint64_t total_delivered_count() const;
   /// Bytes sent on messages crossing a data-center boundary (requires a
   /// dc resolver on the Network).
   uint64_t wan_sent_bytes() const { return wan_sent_bytes_; }
@@ -172,11 +175,22 @@ class Network {
   /// Message tracing (off by default; see net/trace.h).
   Tracer& tracer() { return tracer_; }
   const Tracer& tracer() const { return tracer_; }
+  /// Run-wide telemetry bundle (metric registry + time-to-AMR tracker).
+  /// Owned here so every server and the harness share one registry and
+  /// cached metric handles can never dangle.
+  obs::Telemetry& telemetry() { return telemetry_; }
+  const obs::Telemetry& telemetry() const { return telemetry_; }
   sim::Simulator& simulator() { return sim_; }
+
+  /// Reconcile NetworkStats against the tracer's cumulative tallies. Empty
+  /// string when consistent (or tracing is off); otherwise one line per
+  /// drifted total. Meaningful only when tracing covered the whole run.
+  std::string trace_consistency_report() const;
 
  private:
   void deliver(const wire::Envelope& env);
   SimTime sample_latency();
+  void record_node_sent(NodeId from, wire::MessageType type, size_t bytes);
 
   sim::Simulator& sim_;
   NetworkConfig config_;
@@ -186,6 +200,16 @@ class Network {
   std::function<DataCenterId(NodeId)> dc_resolver_;
   NetworkStats stats_;
   Tracer tracer_;
+  obs::Telemetry telemetry_;
+  /// Cached registry handles for the per-(node, type) sent series, so the
+  /// send hot path pays one hash lookup instead of a labeled map lookup.
+  struct SentCounters {
+    obs::Counter* count = nullptr;
+    obs::Counter* bytes = nullptr;
+  };
+  std::unordered_map<NodeId,
+                     std::array<SentCounters, wire::kMessageTypeCount>>
+      sent_counters_;
 };
 
 /// Typed send helper for messages with a static kType.

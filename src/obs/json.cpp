@@ -1,0 +1,387 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace pahoehoe::obs {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+void JsonWriter::newline_indent() {
+  out_ += '\n';
+  out_.append(stack_.size() * 2, ' ');
+}
+
+void JsonWriter::before_value() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  PAHOEHOE_CHECK_MSG(stack_.empty() || stack_.back() == '[',
+                     "object member written without a key");
+  if (!stack_.empty()) {
+    if (!first_in_container_) out_ += ',';
+    newline_indent();
+  } else {
+    PAHOEHOE_CHECK_MSG(out_.empty(), "second top-level JSON value");
+  }
+  first_in_container_ = false;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  PAHOEHOE_CHECK_MSG(!stack_.empty() && stack_.back() == '{' && !after_key_,
+                     "key() outside an object");
+  if (!first_in_container_) out_ += ',';
+  newline_indent();
+  first_in_container_ = false;
+  append_escaped(out_, name);
+  out_ += ": ";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ += '{';
+  stack_.push_back('{');
+  first_in_container_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  PAHOEHOE_CHECK_MSG(!stack_.empty() && stack_.back() == '{' && !after_key_,
+                     "end_object() without matching begin");
+  const bool empty = first_in_container_;
+  stack_.pop_back();
+  if (!empty) newline_indent();
+  out_ += '}';
+  first_in_container_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ += '[';
+  stack_.push_back('[');
+  first_in_container_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  PAHOEHOE_CHECK_MSG(!stack_.empty() && stack_.back() == '[',
+                     "end_array() without matching begin");
+  const bool empty = first_in_container_;
+  stack_.pop_back();
+  if (!empty) newline_indent();
+  out_ += ']';
+  first_in_container_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& s) {
+  before_value();
+  append_escaped(out_, s);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* s) {
+  return value(std::string(s));
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  char buf[40];
+  // %.10g round-trips every value the benches emit and never produces
+  // locale-dependent output; NaN/inf are not valid JSON, so refuse them.
+  PAHOEHOE_CHECK_MSG(v == v && v <= 1e308 && v >= -1e308,
+                     "non-finite number in JSON output");
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(int64_t v) {
+  before_value();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(uint64_t v) {
+  before_value();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(v));
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+const std::string& JsonWriter::str() const {
+  PAHOEHOE_CHECK_MSG(stack_.empty() && !after_key_,
+                     "unclosed JSON container");
+  return out_;
+}
+
+bool JsonWriter::write_file(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  const std::string& doc = str();
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size() &&
+                  std::fputc('\n', f) != EOF;
+  std::fclose(f);
+  if (!ok) std::fprintf(stderr, "short write to %s\n", path.c_str());
+  return ok;
+}
+
+// --- parser ------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  std::optional<JsonValue> parse() {
+    JsonValue v;
+    if (!parse_value(v)) return std::nullopt;
+    skip_ws();
+    if (pos_ != s_.size()) return std::nullopt;  // trailing garbage
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool literal(const char* word) {
+    const size_t n = std::strlen(word);
+    if (s_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool parse_value(JsonValue& out) {
+    skip_ws();
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"':
+        out.kind = JsonValue::Kind::kString;
+        return parse_string(out.string);
+      case 't':
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = true;
+        return literal("true");
+      case 'f':
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = false;
+        return literal("false");
+      case 'n':
+        out.kind = JsonValue::Kind::kNull;
+        return literal("null");
+      default:
+        return parse_number(out);
+    }
+  }
+
+  bool parse_object(JsonValue& out) {
+    out.kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string name;
+      if (pos_ >= s_.size() || s_[pos_] != '"' || !parse_string(name)) {
+        return false;
+      }
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != ':') return false;
+      ++pos_;
+      JsonValue member;
+      if (!parse_value(member)) return false;
+      out.object.emplace(std::move(name), std::move(member));
+      skip_ws();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool parse_array(JsonValue& out) {
+    out.kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue element;
+      if (!parse_value(element)) return false;
+      out.array.push_back(std::move(element));
+      skip_ws();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos_;  // opening quote
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        if (pos_ + 1 >= s_.size()) return false;
+        const char esc = s_[pos_ + 1];
+        pos_ += 2;
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) return false;
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = s_[pos_ + static_cast<size_t>(i)];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return false;
+            }
+            pos_ += 4;
+            // UTF-8 encode the BMP code point (surrogate pairs are not
+            // produced by our writer; decode them as-is if ever seen).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: return false;
+        }
+        continue;
+      }
+      out += c;
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  bool parse_number(JsonValue& out) {
+    const char* begin = s_.c_str() + pos_;
+    char* end = nullptr;
+    const double v = std::strtod(begin, &end);
+    if (end == begin) return false;
+    out.kind = JsonValue::Kind::kNumber;
+    out.number = v;
+    pos_ += static_cast<size_t>(end - begin);
+    return true;
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::find(const std::string& k) const {
+  if (kind != Kind::kObject) return nullptr;
+  auto it = object.find(k);
+  return it == object.end() ? nullptr : &it->second;
+}
+
+std::optional<JsonValue> json_parse(const std::string& text) {
+  return Parser(text).parse();
+}
+
+std::optional<JsonValue> json_parse_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::nullopt;
+  std::string text;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, n);
+  }
+  std::fclose(f);
+  return json_parse(text);
+}
+
+}  // namespace pahoehoe::obs

@@ -1,0 +1,94 @@
+// Minimal JSON support shared by the bench binaries.
+//
+// JsonWriter is the single emission path for every BENCH_*.json file: a
+// stack-checked streaming writer with stable number formatting, so output
+// is deterministic and valid by construction. The companion parser is a
+// small recursive-descent reader used by self-checks (ctest smoke targets)
+// to re-read an emitted file and validate its schema; it accepts exactly
+// standard JSON and returns nullopt on any syntax error.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pahoehoe::obs {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Member name inside an object; must be followed by a value or
+  /// container.
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(const std::string& s);
+  JsonWriter& value(const char* s);
+  JsonWriter& value(double v);
+  JsonWriter& value(int64_t v);
+  JsonWriter& value(uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<int64_t>(v)); }
+  JsonWriter& value(bool v);
+
+  JsonWriter& kv(const std::string& k, const std::string& v) {
+    return key(k).value(v);
+  }
+  JsonWriter& kv(const std::string& k, const char* v) {
+    return key(k).value(v);
+  }
+  JsonWriter& kv(const std::string& k, double v) { return key(k).value(v); }
+  JsonWriter& kv(const std::string& k, int64_t v) { return key(k).value(v); }
+  JsonWriter& kv(const std::string& k, uint64_t v) { return key(k).value(v); }
+  JsonWriter& kv(const std::string& k, int v) { return key(k).value(v); }
+  JsonWriter& kv(const std::string& k, bool v) { return key(k).value(v); }
+
+  /// The finished document; checks every container was closed.
+  const std::string& str() const;
+
+  /// Write the finished document (plus a trailing newline) to `path`.
+  /// Returns false and prints to stderr on I/O failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  void before_value();
+  void newline_indent();
+
+  std::string out_;
+  std::vector<char> stack_;       // '{' or '['
+  bool first_in_container_ = true;
+  bool after_key_ = false;
+};
+
+/// Parsed JSON value (tree form; numbers as double, objects as ordered
+/// maps).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(const std::string& k) const;
+};
+
+/// Parse one complete JSON document (trailing whitespace allowed).
+std::optional<JsonValue> json_parse(const std::string& text);
+
+/// Read and parse a whole file; nullopt if unreadable or invalid.
+std::optional<JsonValue> json_parse_file(const std::string& path);
+
+}  // namespace pahoehoe::obs

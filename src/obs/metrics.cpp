@@ -1,0 +1,117 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace pahoehoe::obs {
+
+std::string to_string(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ',';
+    out += labels[i].first;
+    out += '=';
+    out += labels[i].second;
+  }
+  out += '}';
+  return out;
+}
+
+MetricRegistry::MetricKey MetricRegistry::make_key(const std::string& name,
+                                                   const Labels& labels) {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    PAHOEHOE_CHECK_MSG(sorted[i - 1].first != sorted[i].first,
+                       "duplicate metric label key");
+  }
+  return {name, std::move(sorted)};
+}
+
+Counter& MetricRegistry::counter(const std::string& name,
+                                 const Labels& labels) {
+  return counters_[make_key(name, labels)];
+}
+
+Gauge& MetricRegistry::gauge(const std::string& name, const Labels& labels) {
+  return gauges_[make_key(name, labels)];
+}
+
+Histogram& MetricRegistry::histogram(const std::string& name,
+                                     const Labels& labels,
+                                     double relative_error) {
+  auto key = make_key(name, labels);
+  auto it = histograms_.find(key);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::move(key), Histogram(relative_error)).first;
+  }
+  return it->second;
+}
+
+void MetricRegistry::merge(const MetricRegistry& other) {
+  for (const auto& [key, counter] : other.counters_) {
+    counters_[key].value_ += counter.value_;
+  }
+  for (const auto& [key, gauge] : other.gauges_) {
+    Gauge& mine = gauges_[key];
+    mine.value_ += gauge.value_;
+    mine.peak_ += gauge.peak_;
+  }
+  for (const auto& [key, histogram] : other.histograms_) {
+    auto it = histograms_.find(key);
+    if (it == histograms_.end()) {
+      histograms_.emplace(key, histogram);
+    } else {
+      it->second.sketch_.merge(histogram.sketch_);
+      it->second.sum_ += histogram.sum_;
+    }
+  }
+}
+
+uint64_t MetricRegistry::counter_sum(const std::string& name) const {
+  uint64_t total = 0;
+  // Keys sort by name first, so every label set of `name` is contiguous.
+  for (auto it = counters_.lower_bound({name, Labels{}});
+       it != counters_.end() && it->first.first == name; ++it) {
+    total += it->second.value_;
+  }
+  return total;
+}
+
+std::string MetricRegistry::to_text() const {
+  std::string out;
+  char buf[160];
+  for (const auto& [key, counter] : counters_) {
+    std::snprintf(buf, sizeof(buf), " %llu\n",
+                  static_cast<unsigned long long>(counter.value_));
+    out += "counter ";
+    out += key.first;
+    out += to_string(key.second);
+    out += buf;
+  }
+  for (const auto& [key, gauge] : gauges_) {
+    std::snprintf(buf, sizeof(buf), " %lld peak %lld\n",
+                  static_cast<long long>(gauge.value_),
+                  static_cast<long long>(gauge.peak_));
+    out += "gauge ";
+    out += key.first;
+    out += to_string(key.second);
+    out += buf;
+  }
+  for (const auto& [key, histogram] : histograms_) {
+    std::snprintf(buf, sizeof(buf),
+                  " count %llu p50 %.6g p95 %.6g p99 %.6g max %.6g\n",
+                  static_cast<unsigned long long>(histogram.count()),
+                  histogram.quantile(0.50), histogram.quantile(0.95),
+                  histogram.quantile(0.99), histogram.sketch().max());
+    out += "histogram ";
+    out += key.first;
+    out += to_string(key.second);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace pahoehoe::obs

@@ -1,0 +1,72 @@
+#include "obs/sampler.h"
+
+#include "common/check.h"
+
+namespace pahoehoe::obs {
+
+void TimeSeries::append(SimTime t, std::vector<double> values) {
+  PAHOEHOE_CHECK(values.size() == columns_.size());
+  Row row;
+  row.t = t;
+  row.n = 1;
+  row.sums = std::move(values);
+  rows_.push_back(std::move(row));
+}
+
+void TimeSeries::merge_aligned(const TimeSeries& other) {
+  if (other.rows_.empty() && other.columns_.empty()) return;
+  if (columns_.empty() && rows_.empty()) columns_ = other.columns_;
+  PAHOEHOE_CHECK_MSG(columns_ == other.columns_,
+                     "merging time-series with different columns");
+  for (size_t i = 0; i < other.rows_.size(); ++i) {
+    if (i >= rows_.size()) {
+      rows_.push_back(other.rows_[i]);
+      continue;
+    }
+    Row& mine = rows_[i];
+    const Row& theirs = other.rows_[i];
+    PAHOEHOE_CHECK_MSG(mine.t == theirs.t,
+                       "merging time-series with misaligned ticks");
+    mine.n += theirs.n;
+    for (size_t c = 0; c < mine.sums.size(); ++c) {
+      mine.sums[c] += theirs.sums[c];
+    }
+  }
+}
+
+double TimeSeries::value(size_t row, size_t column) const {
+  const Row& r = rows_[row];
+  return r.n == 0 ? 0.0 : r.sums[column] / static_cast<double>(r.n);
+}
+
+Sampler::Sampler(sim::Simulator& sim, SimTime interval,
+                 std::vector<std::string> columns, Probe probe,
+                 size_t max_samples)
+    : sim_(sim), interval_(interval), probe_(std::move(probe)),
+      max_samples_(max_samples), series_(std::move(columns)) {
+  PAHOEHOE_CHECK(interval_ > 0);
+  PAHOEHOE_CHECK(probe_ != nullptr);
+  take_sample();  // baseline row at construction time (t = 0 in a fresh run)
+  arm();
+}
+
+Sampler::~Sampler() {
+  if (timer_ != 0) sim_.cancel(timer_);
+}
+
+void Sampler::arm() {
+  if (series_.rows().size() >= max_samples_) return;
+  timer_ = sim_.schedule_after(interval_, [this] { tick(); });
+}
+
+void Sampler::tick() {
+  timer_ = 0;
+  take_sample();
+  // Our own event already fired, so pending() counts only the rest of the
+  // simulation: re-arm only while there is other work to observe.
+  if (sim_.pending() > 0) arm();
+}
+
+void Sampler::take_sample() { series_.append(sim_.now(), probe_(sim_.now())); }
+
+}  // namespace pahoehoe::obs

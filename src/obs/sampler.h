@@ -1,0 +1,90 @@
+// Simulator-driven periodic sampling: convergence state over simulated
+// time, not wall time.
+//
+// A Sampler re-arms itself on the simulation's own event queue, so samples
+// land at deterministic instants (k * interval) and two runs of the same
+// seed produce identical time-series. It deliberately stops re-arming once
+// the rest of the queue is empty — a self-perpetuating timer would keep an
+// otherwise-quiescent simulation "alive" all the way to the horizon and
+// distort end_time / event counts far more than the bounded perturbation a
+// finite sample train already causes (see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/simulator.h"
+
+namespace pahoehoe::obs {
+
+/// Column-oriented series of periodic snapshots. Rows store per-column
+/// sums plus the number of merged runs, so cross-seed aggregation (see
+/// merge_aligned) yields exact means without floating-point reordering.
+class TimeSeries {
+ public:
+  struct Row {
+    SimTime t = 0;
+    uint32_t n = 0;                // runs contributing to this row
+    std::vector<double> sums;      // per-column value sums over those runs
+  };
+
+  TimeSeries() = default;
+  explicit TimeSeries(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  void append(SimTime t, std::vector<double> values);
+
+  /// Merge a series whose rows were sampled on the same tick grid (row i at
+  /// the same sim time in both). Rows align by index; a shorter series just
+  /// contributes to fewer rows. Addition in row order keeps the result
+  /// independent of merge scheduling.
+  void merge_aligned(const TimeSeries& other);
+
+  const std::vector<std::string>& columns() const { return columns_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  bool empty() const { return rows_.empty(); }
+
+  /// Mean of one column at one row across the merged runs.
+  double value(size_t row, size_t column) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<Row> rows_;
+};
+
+/// Periodic probe of live simulation state. Construct after the workload is
+/// scheduled; takes a baseline sample immediately, then one every
+/// `interval` until the queue would otherwise be empty or `max_samples` is
+/// reached.
+class Sampler {
+ public:
+  using Probe = std::function<std::vector<double>(SimTime now)>;
+
+  Sampler(sim::Simulator& sim, SimTime interval,
+          std::vector<std::string> columns, Probe probe,
+          size_t max_samples = 4096);
+  ~Sampler();
+
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  const TimeSeries& series() const { return series_; }
+  size_t samples() const { return series_.rows().size(); }
+
+ private:
+  void arm();
+  void tick();
+  void take_sample();
+
+  sim::Simulator& sim_;
+  SimTime interval_;
+  Probe probe_;
+  size_t max_samples_;
+  sim::TimerId timer_ = 0;
+  TimeSeries series_;
+};
+
+}  // namespace pahoehoe::obs

@@ -1,0 +1,19 @@
+// Per-simulation telemetry bundle.
+//
+// One instance per simulated run, owned by the Network (the single object
+// every node and the harness already share), so instrumentation anywhere in
+// the stack reaches it via net.telemetry() and cached metric handles can
+// never outlive their registry.
+#pragma once
+
+#include "obs/amr_tracker.h"
+#include "obs/metrics.h"
+
+namespace pahoehoe::obs {
+
+struct Telemetry {
+  MetricRegistry metrics;
+  AmrTracker amr;
+};
+
+}  // namespace pahoehoe::obs
