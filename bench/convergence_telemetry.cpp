@@ -6,9 +6,11 @@
 // *know* it is safe.
 //
 // Output: a human-readable table and BENCH_telemetry.json with, per
-// variant, the pooled put-ack → AMR latency quantiles (p50/p95/p99) and the
-// sampled backlog/pending/messages time-series (cross-seed means on the
-// shared tick grid).
+// variant, the pooled put-ack → AMR latency quantiles (p50/p95/p99), the
+// span tracer's critical-path decomposition of that latency (per-component
+// p50/p95 seconds and share of time-to-AMR), and the sampled
+// backlog/pending/messages time-series (cross-seed means on the shared tick
+// grid).
 //
 // Examples:
 //   ./build/bench/convergence_telemetry
@@ -65,6 +67,31 @@ bool selfcheck(const std::string& path, size_t min_variants) {
         variant.find("acked_total")->number) {
       return fail("latency count != acked puts");
     }
+    // Critical-path decomposition: all four components present, versions
+    // matching the latency sample count, shares inside [0, 1].
+    const obs::JsonValue* path = variant.find("critical_path");
+    if (path == nullptr) return fail("missing critical_path");
+    if (path->find("versions") == nullptr ||
+        path->find("versions")->number != latency->find("count")->number) {
+      return fail("critical_path versions != time_to_amr count");
+    }
+    const obs::JsonValue* components = path->find("components");
+    if (components == nullptr) return fail("missing critical_path components");
+    for (const char* name : {"network_wait", "round_scheduling",
+                             "recovery_backoff", "server_processing"}) {
+      const obs::JsonValue* component = components->find(name);
+      if (component == nullptr) return fail("missing path component");
+      for (const char* key :
+           {"total_s", "p50_s", "p95_s", "share_p50", "share_p95"}) {
+        const obs::JsonValue* field = component->find(key);
+        if (field == nullptr || field->number < 0) {
+          return fail("missing or negative path component field");
+        }
+      }
+      if (component->find("share_p95")->number > 1.0 + 1e-9) {
+        return fail("path component share above 1");
+      }
+    }
     const obs::JsonValue* timeline = variant.find("timeline");
     const obs::JsonValue* t = timeline->find("t_s");
     if (t == nullptr || !t->is_array() || t->array.empty()) {
@@ -115,6 +142,9 @@ int run(int argc, char** argv) {
   config.workload.value_size = static_cast<size_t>(object_kib) * 1024;
   config.telemetry.sample_interval =
       static_cast<SimTime>(sample_interval_s * kMicrosPerSecond);
+  // Span tracing feeds the per-variant critical-path decomposition; it is a
+  // pure observer, so the measured runs are unchanged.
+  config.telemetry.spans = true;
   if (blackout_min > 0) {
     config.faults.push_back(core::FaultSpec::fs_blackout(
         0, 0, 0,
@@ -150,6 +180,13 @@ int run(int argc, char** argv) {
                 v.name.c_str(), static_cast<unsigned long long>(v.acked_total),
                 lat.quantile(0.50), lat.quantile(0.95), lat.quantile(0.99),
                 lat.max(), v.agg.timeline.rows().size());
+    std::printf("%-10s   p50 share of time-to-AMR:", "");
+    for (size_t c = 0; c < obs::kPathComponentCount; ++c) {
+      const auto component = static_cast<obs::PathComponent>(c);
+      std::printf(" %s %.2f", obs::to_string(component),
+                  v.agg.critical_path.share(component).quantile(0.50));
+    }
+    std::printf("\n");
     std::fflush(stdout);
     variants.push_back(std::move(v));
   }
@@ -172,6 +209,28 @@ int run(int argc, char** argv) {
     bench::json_stat(w, v.agg.amr_confirmed);
     w.key("backlog_final");
     bench::json_stat(w, v.agg.amr_backlog_final);
+    w.key("critical_path");
+    w.begin_object();
+    w.kv("versions", v.agg.critical_path.versions());
+    w.key("components");
+    w.begin_object();
+    for (size_t c = 0; c < obs::kPathComponentCount; ++c) {
+      const auto component = static_cast<obs::PathComponent>(c);
+      w.key(obs::to_string(component));
+      w.begin_object();
+      w.kv("total_s",
+           static_cast<double>(v.agg.critical_path.total_micros(component)) /
+               static_cast<double>(kMicrosPerSecond));
+      const QuantileSketch& secs = v.agg.critical_path.seconds(component);
+      w.kv("p50_s", secs.quantile(0.50));
+      w.kv("p95_s", secs.quantile(0.95));
+      const QuantileSketch& shr = v.agg.critical_path.share(component);
+      w.kv("share_p50", shr.quantile(0.50));
+      w.kv("share_p95", shr.quantile(0.95));
+      w.end_object();
+    }
+    w.end_object();
+    w.end_object();
     w.key("timeline");
     w.begin_object();
     const obs::TimeSeries& series = v.agg.timeline;

@@ -51,6 +51,10 @@ int main(int argc, char** argv) {
       "message-trace ring per run; failing seeds print the tail (0 = off)"));
   sweep.trace_dump_lines = static_cast<size_t>(flags.get_int(
       "trace-lines", 40, "trace lines in a failing seed's forensics"));
+  sweep.spans = flags.get_bool(
+      "spans", true,
+      "causal span tracing; failing seeds print the violating version's "
+      "span tree");
 
   core::RunConfig config = chaos::chaos_default_config();
   const bool scrub = flags.get_bool(
@@ -90,5 +94,7 @@ int main(int argc, char** argv) {
 
   chaos::SweepResult result = chaos::run_sweep(config, sweep);
   std::printf("\n%s", result.summary().c_str());
-  return result.passed() ? 0 : 1;
+  // exit_code() is non-zero for ANY violation, telemetry-drift-only runs
+  // included (regression-tested in chaos_test).
+  return result.exit_code();
 }

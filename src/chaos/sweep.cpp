@@ -34,6 +34,10 @@ std::string build_forensics(const core::RunResult& run,
     out += line;
     out += run.trace_tail;
   }
+  if (!run.span_forensics.empty()) {
+    out += "span tree of first violating version:\n";
+    out += run.span_forensics;
+  }
   return out;
 }
 
@@ -91,6 +95,7 @@ SweepResult run_sweep(core::RunConfig config, const SweepOptions& options) {
     seed_config.faults = outcome.schedule;
     seed_config.telemetry.trace_capacity = options.trace_capacity;
     seed_config.telemetry.trace_dump_lines = options.trace_dump_lines;
+    seed_config.telemetry.spans = options.spans;
     core::RunResult run = core::run_experiment(seed_config);
     int runs = 1;
     outcome.audit = run.audit;

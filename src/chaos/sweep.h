@@ -28,6 +28,11 @@ struct SweepOptions {
   /// "what happened right before the violation", not whole-run capture.
   size_t trace_capacity = 512;
   size_t trace_dump_lines = 40;
+  /// Causal span tracing in every seed's run: a failing seed's forensics
+  /// then include the span tree of the first violating version (why it
+  /// missed AMR, not just that it did). Pure observer — turning it off
+  /// changes no simulation behavior, only the forensics detail.
+  bool spans = true;
   /// Progress hook, called after each seed completes (may be empty).
   /// Called under a lock, but in completion order, which for jobs > 1 is
   /// not seed order.
@@ -54,6 +59,11 @@ struct SweepResult {
   std::vector<SeedOutcome> outcomes;  ///< one per seed, in seed order
 
   bool passed() const { return failures == 0; }
+  /// Process exit code for CLI drivers: 0 only when every audited invariant
+  /// held in every seed. ANY violation — including a telemetry-drift-only
+  /// failure — is non-zero, so CI cannot green-light a run whose
+  /// observability layer disagrees with the network it watched.
+  int exit_code() const { return passed() ? 0 : 1; }
   /// Short human-readable summary; failing seeds include the shrunk repro.
   std::string summary() const;
 };

@@ -120,6 +120,8 @@ void FragmentServer::merge_meta(const ObjectVersionId& ov,
     // FS retrying at full cadence forever.
     it->second.next_attempt = std::min(it->second.next_attempt, sim_.now());
   }
+  telemetry().spans.report_work(ov, id(), it->second.next_attempt,
+                                it->second.recovering);
   ensure_round_scheduled();
 }
 
@@ -127,6 +129,8 @@ void FragmentServer::wake_work(const ObjectVersionId& ov) {
   auto it = work_.find(ov);
   if (it == work_.end()) return;
   it->second.next_attempt = std::min(it->second.next_attempt, sim_.now());
+  telemetry().spans.report_work(ov, id(), it->second.next_attempt,
+                                it->second.recovering);
   ensure_round_scheduled();
 }
 
@@ -204,6 +208,8 @@ void FragmentServer::start_round() {
       work_.erase(ov);
       ++versions_given_up_;
       m_giveups_->inc();
+      telemetry().spans.interval(ov, "give_up", id(), sim_.now(), sim_.now());
+      telemetry().spans.report_work_done(ov, id());
       continue;
     }
     converge_step(ov, work);
@@ -216,6 +222,20 @@ void FragmentServer::converge_step(const ObjectVersionId& ov, Work& work) {
   PAHOEHOE_CHECK(meta != nullptr);
   m_steps_->inc();
   bump_backoff(work);
+
+  // One span per convergence round; the messages this step sends become
+  // its children. The backoff_wait interval records the wait this step
+  // just scheduled for the *next* attempt; report_work feeds the
+  // critical-path attribution clock.
+  obs::SpanTracer& spans = telemetry().spans;
+  obs::SpanTracer::Scope span_scope;
+  if (spans.enabled()) {
+    span_scope =
+        spans.version_scope(ov, "converge_round", id(),
+                            "attempt " + std::to_string(work.attempts));
+    spans.interval(ov, "backoff_wait", id(), sim_.now(), work.next_attempt);
+    spans.report_work(ov, id(), work.next_attempt, work.recovering);
+  }
 
   if (!meta->complete()) {
     // Fig 4 line 5: incomplete metadata — act like a proxy doing a put, but
@@ -269,6 +289,7 @@ void FragmentServer::begin_plain_recovery(const ObjectVersionId& ov,
   const Metadata& meta = *store_meta_.find(ov);
   work.recovering = true;
   work.plain_recovery = true;
+  telemetry().spans.report_work(ov, id(), work.next_attempt, true, "plain");
   work.gathered.clear();
   work.requested_slots.clear();
   work.failed_slots.clear();
@@ -299,6 +320,7 @@ void FragmentServer::begin_sibling_recovery(const ObjectVersionId& ov,
   const Metadata& meta = *store_meta_.find(ov);
   work.recovering = true;
   work.plain_recovery = false;
+  telemetry().spans.report_work(ov, id(), work.next_attempt, true, "sibling");
   work.gathered.clear();
   work.requested_slots.clear();
   work.failed_slots.clear();
@@ -322,6 +344,8 @@ void FragmentServer::begin_sibling_recovery(const ObjectVersionId& ov,
         auto it = work_.find(ov);
         if (it == work_.end() || !it->second.recovering) return;
         it->second.recovery_timer = 0;
+        const obs::SpanTracer::Scope span_scope =
+            telemetry().spans.version_scope(ov, "recovery_gather", id());
         recovery_gather(ov, it->second);
       });
 }
@@ -450,6 +474,12 @@ void FragmentServer::recovery_maybe_finish(const ObjectVersionId& ov,
   m_recoveries_->inc();
   clear_recovery_state(work);
   work.next_attempt = sim_.now();  // verify at the next round
+  if (telemetry().spans.enabled()) {
+    telemetry().spans.interval(
+        ov, "recovery_complete", id(), sim_.now(), sim_.now(),
+        "regenerated=" + std::to_string(targets.size()));
+    telemetry().spans.report_work(ov, id(), work.next_attempt, false);
+  }
   ensure_round_scheduled();
 }
 
@@ -463,6 +493,8 @@ void FragmentServer::arm_recovery_retry(const ObjectVersionId& ov,
         if (it == work_.end() || !it->second.recovering) return;
         Work& w = it->second;
         w.recovery_retry = 0;
+        const obs::SpanTracer::Scope span_scope =
+            telemetry().spans.version_scope(ov, "recovery_retry", id());
         const Metadata* meta = store_meta_.find(ov);
         if (meta != nullptr) {
           for (int slot : w.requested_slots) {
@@ -511,11 +543,15 @@ void FragmentServer::clear_recovery_state(Work& work) {
 }
 
 void FragmentServer::cancel_recovery(const ObjectVersionId& ov, Work& work) {
-  (void)ov;
   if (!work.recovering) return;
   clear_recovery_state(work);
   ++recovery_backoffs_;
   m_backoffs_->inc();
+  if (telemetry().spans.enabled()) {
+    telemetry().spans.interval(ov, "recovery_canceled", id(), sim_.now(),
+                               sim_.now());
+    telemetry().spans.report_work(ov, id(), work.next_attempt, false);
+  }
   ensure_round_scheduled();
 }
 
@@ -547,6 +583,8 @@ void FragmentServer::mark_amr(const ObjectVersionId& ov) {
   ++versions_converged_;
   m_converged_->inc();
   telemetry().amr.on_amr_confirmed(ov, sim_.now());
+  telemetry().spans.on_amr_confirmed(ov, id());
+  telemetry().spans.report_work_done(ov, id());
   if (options_.fs_amr_indication) {
     // §4.1: tell the siblings so they skip their own convergence steps.
     for (NodeId fs : meta.sibling_fs()) {
@@ -616,6 +654,8 @@ void FragmentServer::on_fs_converge(NodeId from,
       wit->second.recovering && from.value > id().value) {
     cancel_recovery(req.ov, wit->second);
     bump_backoff(wit->second);
+    telemetry().spans.report_work(req.ov, id(), wit->second.next_attempt,
+                                  false);
   }
 
   wire::FsConvergeRep rep;
@@ -647,6 +687,7 @@ void FragmentServer::on_fs_converge_rep(NodeId from,
     if (rep.also_recovering && from.value > id().value) {
       cancel_recovery(rep.ov, work);
       bump_backoff(work);
+      telemetry().spans.report_work(rep.ov, id(), work.next_attempt, false);
       return;
     }
   }
@@ -672,6 +713,10 @@ void FragmentServer::on_amr_indication(const wire::AmrIndication& msg) {
   // convergence work — the rounds-saved quantity Fig 5 prices in.
   if (work_.count(msg.ov) > 0 || store_meta_.contains(msg.ov)) {
     m_amr_skips_->inc();
+    // Chains under the AmrIndication message span: the skipped rounds the
+    // §4.1 optimization buys are visible in the version's tree.
+    telemetry().spans.interval(msg.ov, "amr_skip", id(), sim_.now(),
+                               sim_.now());
   }
   auto wit = work_.find(msg.ov);
   if (wit != work_.end()) {
@@ -679,6 +724,7 @@ void FragmentServer::on_amr_indication(const wire::AmrIndication& msg) {
     work_.erase(wit);
   }
   store_meta_.erase(msg.ov);
+  telemetry().spans.report_work_done(msg.ov, id());
 }
 
 void FragmentServer::on_decide_locs_rep(const wire::DecideLocsRep& rep) {
@@ -782,6 +828,9 @@ size_t FragmentServer::scrub() {
     if (!damaged) continue;
     store_meta_.merge(ov, entry->meta);
     work_.try_emplace(ov);
+    telemetry().spans.report_work(ov, id(), 0, false);
+    telemetry().spans.interval(ov, "scrub_readd", id(), sim_.now(),
+                               sim_.now());
     ++readded;
   }
   if (readded > 0) {
@@ -802,8 +851,8 @@ void FragmentServer::on_crash() {
     scrub_timer_ = 0;
   }
   for (auto& [ov, work] : work_) {
-    (void)ov;
     clear_recovery_state(work);
+    telemetry().spans.report_work_done(ov, id());
   }
   work_.clear();
 }
@@ -812,6 +861,7 @@ void FragmentServer::on_recover() {
   // Rebuild the volatile work map from the persistent work-list.
   for (const ObjectVersionId& ov : store_meta_.all_versions()) {
     work_.try_emplace(ov);
+    telemetry().spans.report_work(ov, id(), 0, false);
   }
   ensure_round_scheduled();
   schedule_scrub();

@@ -282,6 +282,9 @@ RunResult run_experiment(const RunConfig& config) {
   if (config.telemetry.trace_capacity > 0) {
     net.tracer().enable(config.telemetry.trace_capacity);
   }
+  if (config.telemetry.spans) {
+    net.telemetry().spans.enable(&sim, config.telemetry.max_spans_per_version);
+  }
   Cluster cluster(sim, net, config.topology, config.convergence,
                   config.proxy);
   for (const FaultSpec& fault : config.faults) {
@@ -411,6 +414,12 @@ RunResult run_experiment(const RunConfig& config) {
   }
 
   // --- telemetry: reconcile, snapshot, and (on failure) capture forensics --
+  if (config.telemetry.inject_trace_drift && net.tracer().enabled()) {
+    // Phantom record: guaranteed stats-vs-tracer drift, so tests can lock
+    // down the behavior of a run whose ONLY failure is kTelemetryDrift.
+    net.tracer().record(sim.now(), net::TraceEvent::kSend, NodeId{}, NodeId{},
+                        wire::MessageType::kDecideLocsReq, 0);
+  }
   if (const std::string drift = net.trace_consistency_report();
       !drift.empty()) {
     result.audit.violations.push_back(
@@ -433,6 +442,21 @@ RunResult run_experiment(const RunConfig& config) {
     result.trace_tail = net.tracer().dump(config.telemetry.trace_dump_lines);
     result.trace_overflowed = net.tracer().overflowed();
   }
+  for (const obs::VersionCriticalPath& path : tel.spans.critical_paths()) {
+    result.critical_path.add(path);
+  }
+  result.critical_paths = tel.spans.critical_paths();
+  if (!result.audit.passed() && tel.spans.enabled()) {
+    // Span forensics: the causal tree of the first violation that names a
+    // traced version explains *why* it missed AMR, not just that it did.
+    for (const InvariantViolation& v : result.audit.violations) {
+      if (v.ov.ts.valid() && tel.spans.has_version(v.ov)) {
+        result.span_forensics = tel.spans.render_tree(v.ov);
+        break;
+      }
+    }
+  }
+  result.spans = std::move(tel.spans);
   return result;
 }
 
@@ -484,6 +508,7 @@ AggregateResult run_many(RunConfig config, int num_seeds, uint64_t base_seed,
     agg.timeline.merge_aligned(r.timeline);
     agg.amr_confirmed.add(static_cast<double>(r.amr_confirmed));
     agg.amr_backlog_final.add(static_cast<double>(r.amr_backlog_final));
+    agg.critical_path.merge(r.critical_path);
   }
   return agg;
 }

@@ -86,6 +86,17 @@ struct TelemetryOptions {
   size_t trace_capacity = 0;
   /// Trace lines kept in the forensics dump of a failed run.
   size_t trace_dump_lines = 40;
+  /// Causal span tracing (obs/span.h): per-version lifecycle trees and
+  /// put-ack → AMR critical-path attribution. The tracer is a pure
+  /// observer (no events, no RNG draws), so enabling it never perturbs
+  /// the run.
+  bool spans = false;
+  /// Spans stored per version before truncation (see SpanTracer::enable).
+  size_t max_spans_per_version = 8192;
+  /// Test hook: record one phantom trace event right before the stats/trace
+  /// reconciliation so kTelemetryDrift fires as the run's only violation
+  /// (locks down the sweep's non-zero exit code). Needs trace_capacity > 0.
+  bool inject_trace_drift = false;
 };
 
 struct RunConfig {
@@ -184,6 +195,16 @@ struct RunResult {
   /// and telemetry.trace_capacity was > 0.
   std::string trace_tail;
   uint64_t trace_overflowed = 0;  ///< records evicted from the trace ring
+  /// Per-version critical-path decompositions in confirmation order, and
+  /// their mergeable aggregate (empty unless telemetry.spans was on).
+  std::vector<obs::VersionCriticalPath> critical_paths;
+  obs::CriticalPathAggregate critical_path;
+  /// The run's span tracer, moved out of the Network at the end of the run
+  /// so callers can render trees / export Perfetto traces.
+  obs::SpanTracer spans;
+  /// Forensics: span tree of the first audit violation that names a traced
+  /// version (empty when the audit passed or spans were off).
+  std::string span_forensics;
 };
 
 /// Build a cluster, run the workload under the faults, drive the simulation
@@ -222,6 +243,9 @@ struct AggregateResult {
   obs::TimeSeries timeline;
   SampleStats amr_confirmed;
   SampleStats amr_backlog_final;
+  /// Per-component critical-path aggregate merged in seed order —
+  /// byte-identical to_text() for every jobs value.
+  obs::CriticalPathAggregate critical_path;
 };
 
 /// Run `config` under seeds base_seed, base_seed+1, … and aggregate.

@@ -74,6 +74,11 @@ void KeyLookupServer::on_decide_locs(NodeId from,
     store_ts_.add(req.ov.key, req.ov.ts);
     store_meta_.merge(req.ov, meta);
     const Metadata& merged = *store_meta_.find(req.ov);
+    if (telemetry().spans.enabled()) {
+      telemetry().spans.interval(
+          req.ov, "kls_locs_decided", id(), sim_.now(), sim_.now(),
+          "decided=" + std::to_string(merged.decided_count()));
+    }
     for (NodeId fs : merged.sibling_fs()) {
       if (fs == from) continue;
       send(fs, wire::KlsLocsNotify{req.ov, merged});
@@ -89,6 +94,11 @@ void KeyLookupServer::on_store_metadata(NodeId from,
   store_ts_.add(req.ov.key, req.ov.ts);
   store_meta_.merge(req.ov, req.meta);
   const Metadata* merged = store_meta_.find(req.ov);
+  if (telemetry().spans.enabled()) {
+    telemetry().spans.interval(
+        req.ov, "kls_meta_write", id(), sim_.now(), sim_.now(),
+        "decided=" + std::to_string(merged->decided_count()));
+  }
   send(from, wire::StoreMetadataRep{
                  req.ov, wire::Status::kSuccess,
                  static_cast<uint16_t>(merged->decided_count())});
@@ -127,8 +137,12 @@ void KeyLookupServer::on_kls_converge(NodeId from,
   store_ts_.add(req.ov.key, req.ov.ts);
   store_meta_.merge(req.ov, req.meta);
   const Metadata* merged = store_meta_.find(req.ov);
-  send(from, wire::KlsConvergeRep{req.ov, merged != nullptr &&
-                                              merged->complete()});
+  const bool verified = merged != nullptr && merged->complete();
+  if (telemetry().spans.enabled()) {
+    telemetry().spans.interval(req.ov, "kls_converge_verify", id(), sim_.now(),
+                               sim_.now(), verified ? "verified" : "partial");
+  }
+  send(from, wire::KlsConvergeRep{req.ov, verified});
 }
 
 }  // namespace pahoehoe::core

@@ -144,6 +144,19 @@ void Proxy::put(const Key& key, Bytes value, const Policy& policy,
   op->timeout = sim_.schedule_after(options_.put_timeout,
                                     [this, ov] { finish_put(ov); });
 
+  // Root span of the version's causal tree; stays open until AMR. The
+  // scope makes this round's messages its children.
+  obs::SpanTracer& spans = telemetry().spans;
+  obs::SpanTracer::Scope span_scope;
+  if (spans.enabled()) {
+    span_scope = spans.version_scope(
+        ov, "put", id(),
+        "value=" + std::to_string(op->meta.value_size) + "B k=" +
+            std::to_string(policy.k) + " n=" + std::to_string(policy.n));
+    spans.interval(ov, "erasure_encode", id(), sim_.now(), sim_.now(),
+                   std::to_string(op->fragments.size()) + " fragments");
+  }
+
   // Round 1: ask every KLS to suggest locations (broadcast; unlike FSs,
   // proxies do not probe in order, §3.5).
   for (NodeId kls : view_->all_kls) {
@@ -223,6 +236,7 @@ void Proxy::put_maybe_reply(PutOp& op) {
   ++puts_succeeded_;
   m_puts_acked_->inc();
   telemetry().amr.on_put_acked(op.ov, sim_.now());
+  telemetry().spans.on_put_acked(op.ov, id());
   op.callback(PutResult{true, op.ov, static_cast<int>(op.acked_frags.size())});
 }
 
@@ -236,6 +250,7 @@ void Proxy::put_check_amr(PutOp& op) {
   op.amr_sent = true;
   m_amr_concluded_->inc();
   telemetry().amr.on_amr_confirmed(op.ov, sim_.now());
+  telemetry().spans.on_amr_confirmed(op.ov, id());
   if (options_.put_amr_indication) {
     for (NodeId fs : op.meta.sibling_fs()) {
       send(fs, wire::AmrIndication{op.ov});
@@ -254,6 +269,9 @@ void Proxy::finish_put(const ObjectVersionId& ov) {
   if (!op.replied) {
     ++puts_failed_;
     m_puts_failed_->inc();
+    telemetry().spans.interval(
+        op.ov, "put_failed", id(), sim_.now(), sim_.now(),
+        "acked_frags=" + std::to_string(op.acked_frags.size()));
     op.callback(
         PutResult{false, op.ov, static_cast<int>(op.acked_frags.size())});
   }

@@ -139,6 +139,7 @@ void Network::send(NodeId from, NodeId to, wire::MessageType type,
                    Bytes payload) {
   PAHOEHOE_CHECK_MSG(handlers_.count(to) > 0, "send to unregistered node");
   wire::Envelope env{from, to, type, std::move(payload)};
+  env.span = telemetry_.spans.on_send(from, to, wire::to_string(type));
   stats_.record_sent(type, env.wire_size());
   record_node_sent(from, type, env.wire_size());
   tracer_.record(sim_.now(), TraceEvent::kSend, from, to, type,
@@ -156,6 +157,7 @@ void Network::send(NodeId from, NodeId to, wire::MessageType type,
       stats_.record_dropped(type);
       tracer_.record(sim_.now(), TraceEvent::kDrop, from, to, type,
                      env.wire_size());
+      telemetry_.spans.on_drop(env.span);
       return;
     }
   }
@@ -214,6 +216,10 @@ void Network::deliver(const wire::Envelope& env) {
   stats_.record_delivered(env.type);
   tracer_.record(sim_.now(), TraceEvent::kDeliver, env.from, env.to,
                  env.type, env.wire_size());
+  // Open the message's span as the ambient scope so everything the handler
+  // sends chains to this delivery (cross-node causal edge).
+  const obs::SpanTracer::Scope span_scope =
+      telemetry_.spans.deliver_scope(env.span);
   it->second->handle(env);
 }
 

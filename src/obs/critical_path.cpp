@@ -1,0 +1,63 @@
+#include "obs/critical_path.h"
+
+#include <cstdio>
+
+namespace pahoehoe::obs {
+
+const char* to_string(PathComponent c) {
+  switch (c) {
+    case PathComponent::kNetworkWait:
+      return "network_wait";
+    case PathComponent::kRoundScheduling:
+      return "round_scheduling";
+    case PathComponent::kRecoveryBackoff:
+      return "recovery_backoff";
+    case PathComponent::kServerProcessing:
+      return "server_processing";
+  }
+  return "unknown";
+}
+
+void CriticalPathAggregate::add(const VersionCriticalPath& path) {
+  ++versions_;
+  const SimTime total = path.total();
+  for (size_t i = 0; i < kPathComponentCount; ++i) {
+    const SimTime micros = path.components[i];
+    totals_[i] += static_cast<uint64_t>(micros);
+    seconds_[i].add(static_cast<double>(micros) /
+                    static_cast<double>(kMicrosPerSecond));
+    if (total > 0) {
+      share_[i].add(static_cast<double>(micros) / static_cast<double>(total));
+    }
+  }
+}
+
+void CriticalPathAggregate::merge(const CriticalPathAggregate& other) {
+  versions_ += other.versions_;
+  for (size_t i = 0; i < kPathComponentCount; ++i) {
+    totals_[i] += other.totals_[i];
+    seconds_[i].merge(other.seconds_[i]);
+    share_[i].merge(other.share_[i]);
+  }
+}
+
+std::string CriticalPathAggregate::to_text() const {
+  std::string out = "critical_path versions " + std::to_string(versions_) + "\n";
+  char buf[256];
+  for (size_t i = 0; i < kPathComponentCount; ++i) {
+    std::snprintf(buf, sizeof(buf),
+                  "component %s total_s %.6f count %llu p50 %.10g p95 %.10g "
+                  "share_count %llu share_p50 %.10g share_p95 %.10g\n",
+                  to_string(static_cast<PathComponent>(i)),
+                  static_cast<double>(totals_[i]) /
+                      static_cast<double>(kMicrosPerSecond),
+                  static_cast<unsigned long long>(seconds_[i].count()),
+                  seconds_[i].quantile(0.5), seconds_[i].quantile(0.95),
+                  static_cast<unsigned long long>(share_[i].count()),
+                  share_[i].quantile(0.5), share_[i].quantile(0.95));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace pahoehoe::obs

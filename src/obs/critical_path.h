@@ -1,0 +1,106 @@
+// Critical-path decomposition of put-ack → AMR latency.
+//
+// The span tracer (obs/span.h) partitions each acked version's interval
+// [put_ack, amr_confirm] into four mutually exclusive components, advancing
+// the attribution clock at every traced event so the integer-microsecond
+// components sum *exactly* to the AmrTracker-reported time-to-AMR:
+//
+//   network_wait      — at least one message for this version is in flight
+//   server_processing — no message in flight, but some node is running a
+//                       recovery (fragment regeneration) for the version
+//   recovery_backoff  — the version sits on at least one FS work-list whose
+//                       earliest next_attempt is still in the future
+//                       (exponential-backoff wait, paper §4 convergence)
+//   round_scheduling  — residual: the version is runnable (or on no work
+//                       list at all) and is waiting for a convergence round
+//                       to pick it up
+//
+// Components are prioritized in that order when several hold at once, so
+// the partition is unambiguous and deterministic. Per-version records are
+// folded into CriticalPathAggregate, whose sketches merge bucket-wise
+// exactly (same discipline as MetricRegistry): a parallel sweep folded in
+// seed order renders byte-identically to the serial run.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace pahoehoe::obs {
+
+enum class PathComponent : uint8_t {
+  kNetworkWait = 0,
+  kRoundScheduling = 1,
+  kRecoveryBackoff = 2,
+  kServerProcessing = 3,
+};
+
+inline constexpr size_t kPathComponentCount = 4;
+
+/// Stable snake_case name ("network_wait", ...), used in text renders,
+/// bench JSON keys, and Perfetto args.
+const char* to_string(PathComponent c);
+
+/// One version's decomposition. Invariant (checked by span_test):
+///   sum(components) == confirm_time - ack_time   (exact, simulated micros)
+/// Versions that confirm before their ack (zero AmrTracker latency) carry
+/// all-zero components.
+struct VersionCriticalPath {
+  ObjectVersionId ov;
+  SimTime ack_time = 0;
+  SimTime confirm_time = 0;
+  std::array<SimTime, kPathComponentCount> components{};
+
+  SimTime total() const {
+    SimTime t = 0;
+    for (SimTime c : components) t += c;
+    return t;
+  }
+};
+
+/// Mergeable per-component summary: exact integer totals plus quantile
+/// sketches of per-version seconds and per-version share of time-to-AMR.
+/// merge() is bucket-wise exact addition, so seed-order folds are
+/// byte-identical regardless of --jobs (the determinism tests compare
+/// to_text() renders).
+class CriticalPathAggregate {
+ public:
+  void add(const VersionCriticalPath& path);
+  void merge(const CriticalPathAggregate& other);
+
+  /// Versions folded in (including zero-latency ones).
+  uint64_t versions() const { return versions_; }
+  /// Exact summed micros spent in `c` across all versions.
+  uint64_t total_micros(PathComponent c) const {
+    return totals_[static_cast<size_t>(c)];
+  }
+  /// Distribution of per-version seconds spent in `c`.
+  const QuantileSketch& seconds(PathComponent c) const {
+    return seconds_[static_cast<size_t>(c)];
+  }
+  /// Distribution of per-version share (0..1) of time-to-AMR spent in `c`.
+  /// Zero-latency versions contribute no share sample (0/0 is undefined),
+  /// so share counts can be lower than seconds counts.
+  const QuantileSketch& share(PathComponent c) const {
+    return share_[static_cast<size_t>(c)];
+  }
+
+  /// Stable multi-line dump, one component per line:
+  ///   critical_path versions 12
+  ///   component network_wait total_s 1.234567 count 12 p50 ... p95 ...
+  ///     share_count 10 share_p50 ... share_p95 ...
+  /// Byte equality of to_text() is the definition of "identical aggregate".
+  std::string to_text() const;
+
+ private:
+  uint64_t versions_ = 0;
+  std::array<uint64_t, kPathComponentCount> totals_{};
+  std::array<QuantileSketch, kPathComponentCount> seconds_;
+  std::array<QuantileSketch, kPathComponentCount> share_;
+};
+
+}  // namespace pahoehoe::obs

@@ -177,6 +177,11 @@ namespace {
 
 class Parser {
  public:
+  /// Containers may nest at most this deep. Parsing is recursive, so without
+  /// a bound a short adversarial input ("[[[[…") overflows the stack; no
+  /// document this repo writes or reads nests anywhere near 64 levels.
+  static constexpr int kMaxDepth = 64;
+
   explicit Parser(const std::string& text) : s_(text) {}
 
   std::optional<JsonValue> parse() {
@@ -206,8 +211,12 @@ class Parser {
     skip_ws();
     if (pos_ >= s_.size()) return false;
     switch (s_[pos_]) {
-      case '{': return parse_object(out);
-      case '[': return parse_array(out);
+      case '{':
+        if (depth_ >= kMaxDepth) return false;
+        return parse_object(out);
+      case '[':
+        if (depth_ >= kMaxDepth) return false;
+        return parse_array(out);
       case '"':
         out.kind = JsonValue::Kind::kString;
         return parse_string(out.string);
@@ -229,10 +238,12 @@ class Parser {
 
   bool parse_object(JsonValue& out) {
     out.kind = JsonValue::Kind::kObject;
+    ++depth_;
     ++pos_;  // '{'
     skip_ws();
     if (pos_ < s_.size() && s_[pos_] == '}') {
       ++pos_;
+      --depth_;
       return true;
     }
     while (true) {
@@ -255,6 +266,7 @@ class Parser {
       }
       if (s_[pos_] == '}') {
         ++pos_;
+        --depth_;
         return true;
       }
       return false;
@@ -263,10 +275,12 @@ class Parser {
 
   bool parse_array(JsonValue& out) {
     out.kind = JsonValue::Kind::kArray;
+    ++depth_;
     ++pos_;  // '['
     skip_ws();
     if (pos_ < s_.size() && s_[pos_] == ']') {
       ++pos_;
+      --depth_;
       return true;
     }
     while (true) {
@@ -281,6 +295,7 @@ class Parser {
       }
       if (s_[pos_] == ']') {
         ++pos_;
+        --depth_;
         return true;
       }
       return false;
@@ -345,18 +360,47 @@ class Parser {
   }
 
   bool parse_number(JsonValue& out) {
-    const char* begin = s_.c_str() + pos_;
-    char* end = nullptr;
-    const double v = std::strtod(begin, &end);
-    if (end == begin) return false;
+    // Validate the RFC 8259 number grammar before handing the slice to
+    // strtod: bare strtod also accepts "inf", "nan", hex floats, and a
+    // leading '+', none of which are JSON. The writer's %.10g output
+    // ("1e+06", "-0.5", "1e-09") all fits this grammar.
+    const size_t begin = pos_;
+    size_t p = pos_;
+    const auto digit = [this](size_t i) {
+      return i < s_.size() && s_[i] >= '0' && s_[i] <= '9';
+    };
+    if (p < s_.size() && s_[p] == '-') ++p;
+    if (!digit(p)) return false;
+    if (s_[p] == '0') {
+      ++p;  // a leading zero cannot be followed by more digits
+    } else {
+      while (digit(p)) ++p;
+    }
+    if (p < s_.size() && s_[p] == '.') {
+      ++p;
+      if (!digit(p)) return false;
+      while (digit(p)) ++p;
+    }
+    if (p < s_.size() && (s_[p] == 'e' || s_[p] == 'E')) {
+      ++p;
+      if (p < s_.size() && (s_[p] == '+' || s_[p] == '-')) ++p;
+      if (!digit(p)) return false;
+      while (digit(p)) ++p;
+    }
+    // Convert exactly the validated slice: strtod on the raw tail would
+    // happily keep reading past it (e.g. "01" validates as "0" but strtod
+    // eats both digits), and then the trailing-garbage check would be
+    // bypassed.
+    const std::string slice = s_.substr(begin, p - begin);
     out.kind = JsonValue::Kind::kNumber;
-    out.number = v;
-    pos_ += static_cast<size_t>(end - begin);
+    out.number = std::strtod(slice.c_str(), nullptr);
+    pos_ = p;
     return true;
   }
 
   const std::string& s_;
   size_t pos_ = 0;
+  int depth_ = 0;  // open containers; bounded by kMaxDepth
 };
 
 }  // namespace

@@ -8,12 +8,14 @@
 
 #include "obs/amr_tracker.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace pahoehoe::obs {
 
 struct Telemetry {
   MetricRegistry metrics;
   AmrTracker amr;
+  SpanTracer spans;
 };
 
 }  // namespace pahoehoe::obs

@@ -53,6 +53,10 @@ struct Envelope {
   NodeId to;
   MessageType type{};
   Bytes payload;
+  /// Span-context token (obs/span.h) propagating causality across nodes.
+  /// Simulation-plane only: never serialized and excluded from wire_size(),
+  /// so the paper's byte accounting is unchanged.
+  uint64_t span = 0;
 
   size_t wire_size() const { return kHeaderBytes + payload.size(); }
 };

@@ -1,0 +1,144 @@
+// Negative-path tests for the obs/json parser: adversarial inputs must be
+// rejected (never crash, never silently accepted), and rejection must not
+// cost the strictness that the writer's own output depends on. The positive
+// round-trip tests live in telemetry_test.cpp; this file is the hardening
+// counterpart: deep nesting, malformed escapes, truncated documents, and the
+// number grammar.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+
+#include "obs/json.h"
+
+namespace pahoehoe {
+namespace {
+
+using obs::JsonValue;
+using obs::JsonWriter;
+
+bool parses(const std::string& text) {
+  return obs::json_parse(text).has_value();
+}
+
+std::string nested_arrays(int depth) {
+  std::string s(static_cast<size_t>(depth), '[');
+  s.append(static_cast<size_t>(depth), ']');
+  return s;
+}
+
+// --- nesting depth ----------------------------------------------------------
+
+TEST(JsonHardeningTest, DeeplyNestedInputIsRejectedNotACrash) {
+  // Parsing is recursive; without the depth bound this overflows the stack.
+  EXPECT_FALSE(parses(nested_arrays(100'000)));
+  EXPECT_FALSE(parses(std::string(100'000, '[')));  // unclosed, same depth
+  std::string objects;
+  for (int i = 0; i < 100'000; ++i) objects += "{\"a\":";
+  EXPECT_FALSE(parses(objects));
+}
+
+TEST(JsonHardeningTest, NestingUpToTheBoundIsAccepted) {
+  EXPECT_TRUE(parses(nested_arrays(64)));
+  EXPECT_FALSE(parses(nested_arrays(65)));
+  // Close-and-reopen at the same level never accumulates depth.
+  std::string wide = "[";
+  for (int i = 0; i < 1000; ++i) wide += "[],";
+  wide += "[]]";
+  EXPECT_TRUE(parses(wide));
+}
+
+// --- strings ----------------------------------------------------------------
+
+TEST(JsonHardeningTest, MalformedEscapesAreRejected) {
+  EXPECT_FALSE(parses("\"\\x\""));        // unknown escape
+  EXPECT_FALSE(parses("\"\\u12\""));      // truncated \u
+  EXPECT_FALSE(parses("\"\\u12g4\""));    // non-hex digit
+  EXPECT_FALSE(parses("\"dangling\\"));   // backslash at end of input
+  EXPECT_FALSE(parses("\"unterminated")); // no closing quote
+  EXPECT_TRUE(parses("\"\\u0041\\n\\t\\\\\\\"\\/\""));
+}
+
+TEST(JsonHardeningTest, UnicodeEscapeDecodesToUtf8) {
+  const std::optional<JsonValue> doc = obs::json_parse("\"\\u00e9\\u20ac\"");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->string, "\xc3\xa9\xe2\x82\xac");  // é €
+}
+
+// --- truncated documents ----------------------------------------------------
+
+TEST(JsonHardeningTest, TruncatedInputIsRejected) {
+  for (const char* text :
+       {"", "{", "[", "[1,", "{\"a\"", "{\"a\":", "{\"a\":1", "[1, 2",
+        "tru", "fals", "nul", "\"", "{\"a\": \"b}", "[{\"a\": 1}"}) {
+    EXPECT_FALSE(parses(text)) << "accepted truncated input: " << text;
+  }
+}
+
+// --- number grammar ---------------------------------------------------------
+
+TEST(JsonHardeningTest, NonJsonNumbersAreRejected) {
+  // Bare strtod accepts all of these; RFC 8259 accepts none.
+  for (const char* text :
+       {"+1", "01", "007", "1.", ".5", "-", "-.5", "1e", "1e+", "Infinity",
+        "-Infinity", "inf", "nan", "NaN", "0x10", "1_000", "--1"}) {
+    EXPECT_FALSE(parses(text)) << "accepted non-JSON number: " << text;
+  }
+  // A valid prefix with digit garbage after it is trailing garbage, not a
+  // longer number ("01" must not quietly parse as 1).
+  EXPECT_FALSE(parses("[01]"));
+}
+
+TEST(JsonHardeningTest, ValidNumbersParseToTheirValues) {
+  const auto number = [](const std::string& text) {
+    const std::optional<JsonValue> doc = obs::json_parse(text);
+    EXPECT_TRUE(doc.has_value()) << "rejected valid number: " << text;
+    return doc.has_value() ? doc->number : -1e300;
+  };
+  EXPECT_DOUBLE_EQ(number("0"), 0.0);
+  EXPECT_DOUBLE_EQ(number("-0"), 0.0);
+  EXPECT_DOUBLE_EQ(number("10"), 10.0);
+  EXPECT_DOUBLE_EQ(number("-0.5"), -0.5);
+  EXPECT_DOUBLE_EQ(number("0.5e3"), 500.0);
+  EXPECT_DOUBLE_EQ(number("1E-2"), 0.01);
+  // The writer's %.10g emits exponent forms like these; the strict grammar
+  // must keep accepting them or every bench JSON stops round-tripping.
+  EXPECT_DOUBLE_EQ(number("1e+06"), 1e6);
+  EXPECT_DOUBLE_EQ(number("1e-09"), 1e-9);
+}
+
+TEST(JsonHardeningTest, WriterExponentOutputRoundTrips) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("big", 1e6);
+  w.kv("small", 1e-9);
+  w.kv("neg", -2.5e-4);
+  w.end_object();
+  const std::optional<JsonValue> doc = obs::json_parse(w.str());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_DOUBLE_EQ(doc->find("big")->number, 1e6);
+  EXPECT_DOUBLE_EQ(doc->find("small")->number, 1e-9);
+  EXPECT_DOUBLE_EQ(doc->find("neg")->number, -2.5e-4);
+}
+
+// --- structural garbage -----------------------------------------------------
+
+TEST(JsonHardeningTest, StructuralGarbageIsRejected) {
+  for (const char* text :
+       {"{1: 2}",          // non-string key
+        "{\"a\" 1}",       // missing colon
+        "{\"a\": 1,}",     // trailing comma
+        "[1 2]",           // missing comma
+        "[,1]",            // leading comma
+        "{\"a\": 1} {}",   // two top-level values
+        "]", "}", ",",
+        "truefalse"}) {
+    EXPECT_FALSE(parses(text)) << "accepted garbage: " << text;
+  }
+  EXPECT_TRUE(parses(" null "));
+  EXPECT_TRUE(parses("true"));
+  EXPECT_TRUE(parses("\t[true, false, null]\n"));
+}
+
+}  // namespace
+}  // namespace pahoehoe
