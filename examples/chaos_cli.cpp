@@ -1,19 +1,79 @@
-// Chaos sweep runner: N seeds of randomized fault schedules through the
-// invariant auditor. Any failing seed is shrunk to a minimal repro that
-// prints as a ready-to-paste FaultSpec list.
+// Chaos runner: uniform sweeps and coverage-guided search over randomized
+// fault schedules, through the invariant auditor. Any failing schedule is
+// shrunk to a minimal repro that prints as a ready-to-paste FaultSpec list;
+// search failures also print the coverage features they newly reached.
 //
 // Examples:
 //   ./build/examples/chaos_cli --seeds=50
 //   ./build/examples/chaos_cli --seeds=200 --intensity=2.0
 //   ./build/examples/chaos_cli --seeds=20 --scrub=false   (expect failures:
 //       silent corruption is never repaired without scrubbing)
+//   ./build/examples/chaos_cli --search --search-rounds=10 --jobs=8
+//   ./build/examples/chaos_cli --search --corpus-out=corpus.bin
+//   ./build/examples/chaos_cli --search --corpus-in=corpus.bin
 #include <cstdio>
+#include <fstream>
 #include <map>
 
+#include "chaos/search.h"
 #include "chaos/sweep.h"
 #include "common/flags.h"
 
 using namespace pahoehoe;
+
+namespace {
+
+int run_search_mode(core::RunConfig config, chaos::SearchOptions options,
+                    const std::string& corpus_in,
+                    const std::string& corpus_out) {
+  if (!corpus_in.empty()) {
+    std::ifstream in(corpus_in, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot read corpus file %s\n", corpus_in.c_str());
+      return 2;
+    }
+    const Bytes data((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    options.initial_corpus = chaos::decode_corpus(data);
+    std::printf("loaded %zu corpus schedules from %s\n",
+                options.initial_corpus.size(), corpus_in.c_str());
+  }
+
+  // on_round fires sequentially after each round's deterministic merge, so
+  // streaming per-round progress needs no reordering buffer.
+  options.on_round = [](const chaos::SearchRound& round) {
+    std::printf("round %2d: %4d runs  %4zu features  %3zu corpus  "
+                "%d failures\n",
+                round.round, round.runs, round.features, round.corpus,
+                round.failures);
+    std::fflush(stdout);
+  };
+
+  const chaos::SearchResult result = chaos::run_search(config, options);
+  std::printf("\n%s", result.summary().c_str());
+
+  if (!corpus_out.empty()) {
+    std::vector<std::vector<core::FaultSpec>> schedules;
+    schedules.reserve(result.corpus.size());
+    for (const chaos::CorpusEntry& entry : result.corpus) {
+      schedules.push_back(entry.schedule);
+    }
+    const Bytes data = chaos::encode_corpus(schedules);
+    std::ofstream out(corpus_out, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+    if (!out) {
+      std::fprintf(stderr, "cannot write corpus file %s\n",
+                   corpus_out.c_str());
+      return 2;
+    }
+    std::printf("wrote %zu corpus schedules to %s\n", schedules.size(),
+                corpus_out.c_str());
+  }
+  return result.exit_code();
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
@@ -56,6 +116,22 @@ int main(int argc, char** argv) {
       "causal span tracing; failing seeds print the violating version's "
       "span tree");
 
+  // Coverage-guided search mode (chaos/search.h).
+  const bool search = flags.get_bool(
+      "search", false,
+      "coverage-guided schedule search instead of a uniform sweep");
+  chaos::SearchOptions search_options;
+  search_options.rounds = static_cast<int>(flags.get_int(
+      "search-rounds", 10, "mutation rounds after the seeding round"));
+  search_options.batch = static_cast<int>(
+      flags.get_int("search-batch", 16, "candidates per mutation round"));
+  search_options.seed_corpus = static_cast<int>(flags.get_int(
+      "search-seeds", 8, "uniformly generated schedules seeding the corpus"));
+  const std::string corpus_in = flags.get_string(
+      "corpus-in", "", "corpus file to replay before the seeding round");
+  const std::string corpus_out = flags.get_string(
+      "corpus-out", "", "file to write the final corpus to");
+
   core::RunConfig config = chaos::chaos_default_config();
   const bool scrub = flags.get_bool(
       "scrub", true, "periodic scrub-and-repair (off: corruption sticks)");
@@ -63,6 +139,18 @@ int main(int argc, char** argv) {
   config.workload.num_puts = static_cast<int>(
       flags.get_int("puts", config.workload.num_puts, "objects to store"));
   flags.finish();
+
+  if (search) {
+    search_options.base_seed = sweep.base_seed;
+    search_options.jobs = sweep.jobs;
+    search_options.schedule = sweep.schedule;
+    search_options.shrink_failures = sweep.shrink_failures;
+    search_options.shrink = sweep.shrink;
+    search_options.trace_capacity = sweep.trace_capacity;
+    search_options.trace_dump_lines = sweep.trace_dump_lines;
+    return run_search_mode(config, std::move(search_options), corpus_in,
+                           corpus_out);
+  }
 
   // The hook fires in completion order, which is scheduler-dependent when
   // jobs > 1. Buffer out-of-order seeds and flush in seed order so stdout

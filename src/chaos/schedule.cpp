@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "common/rng.h"
 #include "wire/serde.h"
@@ -12,6 +14,12 @@ namespace pahoehoe::chaos {
 namespace {
 
 using core::FaultSpec;
+
+void check(bool ok, const std::string& message) {
+  if (!ok) {
+    throw std::invalid_argument("ScheduleOptions: " + message);
+  }
+}
 
 SimTime window_start(Rng& rng, const ScheduleOptions& options) {
   const SimTime latest =
@@ -25,9 +33,32 @@ SimTime window_len(Rng& rng, const ScheduleOptions& options) {
 
 }  // namespace
 
+void validate(const ScheduleOptions& options) {
+  check(options.intensity >= 0.0,
+        "intensity must be >= 0, got " + std::to_string(options.intensity));
+  check(options.max_loss_rate >= 0.0 && options.max_loss_rate <= 1.0,
+        "max_loss_rate must be in [0, 1], got " +
+            std::to_string(options.max_loss_rate));
+  check(options.max_duplication_rate >= 0.0 &&
+            options.max_duplication_rate <= 1.0,
+        "max_duplication_rate must be in [0, 1], got " +
+            std::to_string(options.max_duplication_rate));
+  check(options.min_window >= 0,
+        "min_window must be >= 0, got " +
+            std::to_string(options.min_window));
+  check(options.min_window <= options.max_window,
+        "min_window (" + std::to_string(options.min_window) +
+            ") must be <= max_window (" +
+            std::to_string(options.max_window) + ")");
+  check(options.fault_horizon > 0,
+        "fault_horizon must be > 0, got " +
+            std::to_string(options.fault_horizon));
+}
+
 std::vector<FaultSpec> generate_schedule(uint64_t seed,
                                          const core::ClusterTopology& topology,
                                          const ScheduleOptions& options) {
+  validate(options);
   // Derive an independent stream from the run seed so the schedule does not
   // correlate with in-run randomness (latency, jitter) for the same seed.
   Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0x5eedULL);
@@ -233,8 +264,13 @@ core::RunConfig chaos_default_config() {
   // Retry often enough that convergence finishes well inside the horizon.
   config.convergence.backoff_max = 10LL * 60 * kMicrosPerSecond;
   // Non-durable versions (failed puts) can never converge; give up on them
-  // inside the horizon so quiescence is reachable.
+  // inside the horizon so quiescence is reachable. Durable-class versions
+  // are never dropped — scrub can repair them no matter how old — which is
+  // what makes late-corruption schedules (mutated past the fault horizon)
+  // auditable instead of trading a repair for a give-up violation.
   config.convergence.giveup_age = 2LL * 3600 * kMicrosPerSecond;
+  config.convergence.giveup_age_durable =
+      core::ConvergenceOptions::kNeverGiveUp;
 
   config.max_sim_time = 12LL * 3600 * kMicrosPerSecond;
   config.event_budget = 20'000'000;

@@ -45,8 +45,15 @@ struct ScheduleOptions {
   bool disk_destroys = true;  ///< wipe one disk of an FS (bulk data loss)
 };
 
+/// Reject degenerate generator knobs with a clear message: negative
+/// intensity, loss/duplication caps outside [0, 1], min_window >
+/// max_window, or a non-positive fault horizon. Throws
+/// std::invalid_argument; called by generate_schedule.
+void validate(const ScheduleOptions& options);
+
 /// Compose a random fault schedule for `topology`. Deterministic in
-/// (seed, topology, options).
+/// (seed, topology, options). Throws std::invalid_argument on invalid
+/// options (see validate()).
 std::vector<core::FaultSpec> generate_schedule(
     uint64_t seed, const core::ClusterTopology& topology,
     const ScheduleOptions& options = {});

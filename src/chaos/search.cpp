@@ -1,0 +1,344 @@
+#include "chaos/search.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "wire/serde.h"
+
+namespace pahoehoe::chaos {
+
+namespace {
+
+/// Everything one candidate run produces, filled by a worker into its slot
+/// and consumed by the sequential merge.
+struct CandidateOutcome {
+  uint64_t seed = 0;  ///< simulation seed the candidate ran under
+  std::vector<core::FaultSpec> schedule;
+  Coverage coverage;
+  bool passed = true;
+  core::AuditReport audit;
+  std::vector<core::FaultSpec> shrunk;
+  int shrink_runs = 0;
+  std::string forensics;
+};
+
+/// Same digest the sweep attaches to failures (kept textually identical so
+/// forensics read the same across both drivers).
+std::string build_forensics(const core::RunResult& run,
+                            size_t trace_dump_lines) {
+  const auto sum = [&run](const char* name) {
+    return static_cast<unsigned long long>(run.metrics.counter_sum(name));
+  };
+  char line[256];
+  std::snprintf(
+      line, sizeof(line),
+      "metrics: rounds=%llu steps=%llu amr_skips=%llu converged=%llu "
+      "giveups=%llu backoffs=%llu scrub_repairs=%llu amr_backlog=%zu\n",
+      sum("fs_rounds_total"), sum("fs_converge_steps_total"),
+      sum("fs_amr_skips_total"), sum("fs_converged_total"),
+      sum("fs_giveups_total"), sum("fs_recovery_backoffs_total"),
+      sum("fs_scrub_repairs_total"), run.amr_backlog_final);
+  std::string out = line;
+  if (!run.trace_tail.empty()) {
+    std::snprintf(line, sizeof(line),
+                  "trace tail (last %zu lines, %llu overflowed):\n",
+                  trace_dump_lines,
+                  static_cast<unsigned long long>(run.trace_overflowed));
+    out += line;
+    out += run.trace_tail;
+  }
+  if (!run.span_forensics.empty()) {
+    out += "span tree of first violating version:\n";
+    out += run.span_forensics;
+  }
+  return out;
+}
+
+/// Per-candidate sub-seed: decorrelates (round, index) pairs from each
+/// other and from the base seed's own schedule stream.
+uint64_t candidate_seed(uint64_t base, int round, int index) {
+  uint64_t h = base;
+  h ^= 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(round);
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= static_cast<uint64_t>(index) + 0x2545f4914f6cdd1dULL;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  return h;
+}
+
+/// The search's persistent state between rounds, updated only in the
+/// sequential merge.
+struct CorpusState {
+  std::vector<CorpusEntry> entries;
+  Coverage global;
+  /// feature hash -> number of corpus entries whose signature contains it
+  /// (rarity denominator for parent selection).
+  std::map<uint64_t, int> feature_counts;
+
+  /// Rarity weight: an entry scores the sum of 1/count over its features,
+  /// so holders of features nobody else has dominate parent selection.
+  double weight(const CorpusEntry& entry) const {
+    double w = 0.0;
+    for (const auto& [hash, name] : entry.coverage.features) {
+      const auto it = feature_counts.find(hash);
+      if (it != feature_counts.end() && it->second > 0) {
+        w += 1.0 / static_cast<double>(it->second);
+      }
+    }
+    return w;
+  }
+
+  const CorpusEntry& select_parent(Rng& rng) const {
+    double total = 0.0;
+    for (const CorpusEntry& e : entries) total += weight(e);
+    if (total <= 0.0) return entries[0];
+    double draw = rng.uniform01() * total;
+    for (const CorpusEntry& e : entries) {
+      draw -= weight(e);
+      if (draw <= 0.0) return e;
+    }
+    return entries.back();
+  }
+
+  void admit(CorpusEntry entry) {
+    for (const auto& [hash, name] : entry.coverage.features) {
+      ++feature_counts[hash];
+    }
+    entries.push_back(std::move(entry));
+  }
+};
+
+}  // namespace
+
+std::string SearchResult::summary() const {
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "chaos search: %d runs (+%d shrinking), %zu features, "
+                "%zu corpus entries, %zu failures\n",
+                runs, shrink_runs, coverage.size(), corpus.size(),
+                failures.size());
+  std::string out = line;
+
+  out += "coverage growth (runs -> features):\n";
+  for (const SearchRound& point : growth) {
+    std::snprintf(line, sizeof(line),
+                  "  round %2d: %4d runs  %4zu features  %3zu corpus  "
+                  "%d failures\n",
+                  point.round, point.runs, point.features, point.corpus,
+                  point.failures);
+    out += line;
+  }
+
+  out += "rare features: ";
+  bool any = false;
+  for (const char* rare :
+       {kFeatureCollision, kFeatureSiblingRecovery, kFeatureScrubPastGiveup}) {
+    if (!coverage.contains(rare)) continue;
+    if (any) out += ", ";
+    out += rare;
+    any = true;
+  }
+  if (!any) out += "(none reached)";
+  out += "\n";
+
+  for (const SearchFailure& failure : failures) {
+    std::snprintf(line, sizeof(line),
+                  "FAILURE (round %d, run seed %llu, %zu faults, "
+                  "shrunk to %zu):\n",
+                  failure.round,
+                  static_cast<unsigned long long>(failure.seed),
+                  failure.schedule.size(), failure.shrunk.size());
+    out += line;
+    out += failure.audit.to_string();
+    if (!failure.new_features.empty()) {
+      out += "newly reached features:\n";
+      for (const std::string& name : failure.new_features) {
+        out += "  " + name + "\n";
+      }
+    }
+    out += failure.forensics;
+    if (!failure.shrunk.empty()) {
+      out += "minimal repro (run seed ";
+      out += std::to_string(failure.seed);
+      out += "):\n";
+      out += format_repro(failure.shrunk);
+    }
+  }
+  return out;
+}
+
+SearchResult run_search(core::RunConfig config, const SearchOptions& options) {
+  const std::vector<core::FaultSpec> base_faults = config.faults;
+  config.telemetry.trace_capacity = options.trace_capacity;
+  config.telemetry.trace_dump_lines = options.trace_dump_lines;
+  config.telemetry.spans = true;  // signatures need the span walk
+
+  SearchResult result;
+  CorpusState state;
+
+  // One candidate run, worker-side: everything here is a pure function of
+  // (schedule, run seed, config), so slots are independent of claim order.
+  const auto run_candidate = [&](std::vector<core::FaultSpec> schedule,
+                                 uint64_t run_seed) -> CandidateOutcome {
+    CandidateOutcome outcome;
+    outcome.seed = run_seed;
+    core::RunConfig candidate_config = config;
+    candidate_config.seed = run_seed;
+    candidate_config.faults = base_faults;
+    candidate_config.faults.insert(candidate_config.faults.end(),
+                                   schedule.begin(), schedule.end());
+    outcome.schedule = std::move(schedule);
+    const core::RunResult run = core::run_experiment(candidate_config);
+    outcome.coverage = extract_coverage(run, candidate_config);
+    outcome.audit = run.audit;
+    outcome.passed = run.audit.passed();
+    if (!outcome.passed) {
+      outcome.forensics =
+          build_forensics(run, options.trace_dump_lines);
+      if (options.shrink_failures) {
+        ShrinkResult shrunk = shrink_schedule(
+            candidate_config, candidate_config.faults, options.shrink);
+        outcome.shrunk = std::move(shrunk.schedule);
+        outcome.shrink_runs = shrunk.runs;
+      }
+    }
+    return outcome;
+  };
+
+  // Sequential slot-order merge of one round's outcomes. This is the only
+  // place corpus/coverage/failure state changes, so the search trajectory
+  // is independent of worker scheduling.
+  const auto merge_round = [&](int round,
+                               std::vector<CandidateOutcome>& outcomes) {
+    for (CandidateOutcome& outcome : outcomes) {
+      ++result.runs;
+      result.shrink_runs += outcome.shrink_runs;
+      Coverage fresh;
+      for (const auto& [hash, name] : outcome.coverage.features) {
+        if (result.coverage.features.count(hash) == 0) {
+          fresh.features.emplace(hash, name);
+        }
+      }
+      result.coverage.merge(outcome.coverage);
+      if (!outcome.passed) {
+        SearchFailure failure;
+        failure.round = round;
+        failure.seed = outcome.seed;
+        failure.schedule = outcome.schedule;
+        failure.audit = std::move(outcome.audit);
+        failure.shrunk = std::move(outcome.shrunk);
+        failure.shrink_runs = outcome.shrink_runs;
+        failure.new_features = fresh.names();
+        failure.forensics = std::move(outcome.forensics);
+        result.failures.push_back(std::move(failure));
+      }
+      if (!fresh.features.empty()) {
+        CorpusEntry entry;
+        entry.schedule = std::move(outcome.schedule);
+        entry.coverage = std::move(outcome.coverage);
+        entry.round = round;
+        entry.new_features = fresh.features.size();
+        state.admit(std::move(entry));
+      }
+    }
+    SearchRound point;
+    point.round = round;
+    point.runs = result.runs;
+    point.features = result.coverage.size();
+    point.corpus = state.entries.size();
+    point.failures = static_cast<int>(result.failures.size());
+    result.growth.push_back(point);
+    if (options.on_round) options.on_round(point);
+  };
+
+  // Round 0: the initial corpus (if any) plus uniformly generated seeds.
+  std::vector<std::vector<core::FaultSpec>> candidates =
+      options.initial_corpus;
+  const int seed_corpus = std::max(1, options.seed_corpus);
+  for (int i = 0; i < seed_corpus; ++i) {
+    candidates.push_back(generate_schedule(
+        options.base_seed + static_cast<uint64_t>(i), config.topology,
+        options.schedule));
+  }
+
+  for (int round = 0; round <= options.rounds; ++round) {
+    if (round > 0) {
+      // Breed this round's candidates from the corpus as it stood after
+      // the previous round — fully determined before any worker runs.
+      candidates.clear();
+      std::vector<std::vector<core::FaultSpec>> donor_pool;
+      donor_pool.reserve(state.entries.size());
+      for (const CorpusEntry& e : state.entries) {
+        donor_pool.push_back(e.schedule);
+      }
+      for (int i = 0; i < options.batch; ++i) {
+        const uint64_t sub_seed =
+            candidate_seed(options.base_seed, round, i);
+        Rng select_rng(sub_seed);
+        const CorpusEntry& parent = state.select_parent(select_rng);
+        candidates.push_back(mutate_schedule(parent.schedule, donor_pool,
+                                             sub_seed, config.topology,
+                                             options.mutate));
+      }
+    }
+    if (candidates.empty()) break;  // rounds > 0 with an unseedable corpus
+
+    std::vector<CandidateOutcome> outcomes(candidates.size());
+    parallel_for(static_cast<int>(candidates.size()), options.jobs,
+                 [&](int i) {
+                   outcomes[static_cast<size_t>(i)] = run_candidate(
+                       candidates[static_cast<size_t>(i)],
+                       candidate_seed(options.base_seed, round, i));
+                 });
+    merge_round(round, outcomes);
+  }
+
+  result.corpus = state.entries;
+  return result;
+}
+
+Coverage uniform_coverage(core::RunConfig config, int runs,
+                          uint64_t base_seed, const ScheduleOptions& schedule,
+                          int jobs) {
+  const std::vector<core::FaultSpec> base_faults = config.faults;
+  config.telemetry.spans = true;
+  std::vector<Coverage> slots(static_cast<size_t>(std::max(0, runs)));
+  parallel_for(runs, jobs, [&](int i) {
+    core::RunConfig seed_config = config;
+    seed_config.seed = base_seed + static_cast<uint64_t>(i);
+    seed_config.faults = base_faults;
+    std::vector<core::FaultSpec> generated = generate_schedule(
+        seed_config.seed, config.topology, schedule);
+    seed_config.faults.insert(seed_config.faults.end(), generated.begin(),
+                              generated.end());
+    const core::RunResult run = core::run_experiment(seed_config);
+    slots[static_cast<size_t>(i)] = extract_coverage(run, seed_config);
+  });
+  Coverage out;
+  for (const Coverage& c : slots) out.merge(c);
+  return out;
+}
+
+Bytes encode_corpus(const std::vector<std::vector<core::FaultSpec>>& corpus) {
+  wire::Writer w;
+  w.u32(static_cast<uint32_t>(corpus.size()));
+  for (const std::vector<core::FaultSpec>& schedule : corpus) {
+    w.bytes(encode_schedule(schedule));
+  }
+  return std::move(w).take();
+}
+
+std::vector<std::vector<core::FaultSpec>> decode_corpus(const Bytes& data) {
+  wire::Reader r(data);
+  const uint32_t count = r.u32();
+  std::vector<std::vector<core::FaultSpec>> corpus;
+  corpus.reserve(std::min<uint32_t>(count, 4096));
+  for (uint32_t i = 0; i < count; ++i) {
+    corpus.push_back(decode_schedule(r.bytes()));
+  }
+  r.expect_exhausted();
+  return corpus;
+}
+
+}  // namespace pahoehoe::chaos

@@ -1,6 +1,7 @@
 // Configuration knobs for the Pahoehoe protocol stack.
 #pragma once
 
+#include <limits>
 #include <string>
 
 #include "common/types.h"
@@ -48,8 +49,23 @@ struct ConvergenceOptions {
   /// start convergence even before the put operation completes", §4.1).
   SimTime min_age = 300 * kMicrosPerSecond;
   /// Stop attempting convergence for versions older than this (paper: two
-  /// months, §3.5).
+  /// months, §3.5). With per-class horizons enabled (giveup_age_durable >=
+  /// 0) this becomes the horizon of the *non-durable* class only.
   SimTime giveup_age = 60LL * 24 * 3600 * kMicrosPerSecond;
+  /// Per-durability-class give-up: horizon applied to versions an FS has
+  /// evidence are durable (>= k certified intact fragments cluster-wide, or
+  /// verified AMR in the past). Negative (the default) disables the split
+  /// and `giveup_age` governs every version — the paper's single-age
+  /// behavior, kept for figure parity. Set to kNeverGiveUp so durable
+  /// versions are never dropped from the work-lists and scrub can repair
+  /// arbitrarily old AMR-eligible versions; non-durable versions (failed
+  /// puts that can never converge) still leave at `giveup_age`, which is
+  /// what keeps quiescence reachable.
+  SimTime giveup_age_durable = -1;
+  /// Effectively-infinite horizon for giveup_age_durable ("durable
+  /// versions are never dropped").
+  static constexpr SimTime kNeverGiveUp =
+      std::numeric_limits<SimTime>::max();
   /// Exponential per-version backoff after a convergence step that did not
   /// reach AMR: base * factor^(attempts-1), jittered, capped.
   SimTime backoff_base = 60 * kMicrosPerSecond;

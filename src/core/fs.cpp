@@ -22,6 +22,12 @@ FragmentServer::FragmentServer(sim::Simulator& sim, net::Network& net,
   m_backoffs_ = &metrics.counter("fs_recovery_backoffs_total", labels);
   m_recoveries_ = &metrics.counter("fs_recoveries_total", labels);
   m_scrub_repairs_ = &metrics.counter("fs_scrub_repairs_total", labels);
+  // §4.2 lower-id stand-downs: two FSs collided on recovering the same
+  // version. A dedicated counter (instead of folding into backoffs) gives
+  // the chaos coverage signature its rarest protocol state.
+  m_collisions_ = &metrics.counter("fs_recovery_collisions_total", labels);
+  m_sibling_recoveries_ =
+      &metrics.counter("fs_sibling_recoveries_total", labels);
   m_converge_attempts_ = &metrics.histogram("fs_converge_attempts", labels);
   schedule_scrub();
 }
@@ -46,6 +52,51 @@ FragmentServer::Work& FragmentServer::work_for(const ObjectVersionId& ov) {
 
 SimTime FragmentServer::version_age(const ObjectVersionId& ov) const {
   return std::max<SimTime>(0, sim_.now() - ov.ts.wall_micros);
+}
+
+void FragmentServer::certify_slots(const ObjectVersionId& ov, Work& work,
+                                   const std::vector<int>& slots) {
+  if (work.durable_evidence || options_.giveup_age_durable < 0) return;
+  for (int slot : slots) work.certified_slots.insert(slot);
+  const Metadata* meta = store_meta_.find(ov);
+  if (meta != nullptr &&
+      static_cast<int>(work.certified_slots.size()) >= meta->policy.k) {
+    work.durable_evidence = true;
+    work.certified_slots.clear();
+  }
+}
+
+bool FragmentServer::durable_class(const ObjectVersionId& ov, Work* work) {
+  if (amr_history_.count(ov) > 0) return true;
+  if (work == nullptr) return false;
+  if (work->durable_evidence) return true;
+  // Certify what local state proves right now: our own intact fragments
+  // plus anything a recovery attempt has gathered.
+  const Metadata* meta = store_meta_.find(ov);
+  if (meta == nullptr) return false;
+  std::vector<int> intact;
+  for (int slot : meta->fragments_for(id())) {
+    if (store_frag_.fragment_if_intact(ov, slot) != nullptr) {
+      intact.push_back(slot);
+    }
+  }
+  for (const auto& [slot, data] : work->gathered) intact.push_back(slot);
+  certify_slots(ov, *work, intact);
+  return work->durable_evidence;
+}
+
+SimTime FragmentServer::giveup_horizon(const ObjectVersionId& ov,
+                                       Work* work) {
+  if (options_.giveup_age_durable < 0) return options_.giveup_age;
+  return durable_class(ov, work) ? options_.giveup_age_durable
+                                 : options_.giveup_age;
+}
+
+void FragmentServer::revoke_durable_evidence(const ObjectVersionId& ov,
+                                             Work& work) {
+  work.certified_slots.clear();
+  work.durable_evidence = false;
+  amr_history_.erase(ov);
 }
 
 void FragmentServer::bump_backoff(Work& work) {
@@ -201,14 +252,20 @@ void FragmentServer::start_round() {
     if (work.recovering) continue;  // a recovery for this version is active
     if (sim_.now() < work.next_attempt) continue;
     if (version_age(ov) < options_.effective_min_age()) continue;
-    if (version_age(ov) > options_.giveup_age) {
+    if (version_age(ov) > giveup_horizon(ov, &work)) {
       // §3.5: stop convergence work for hopeless versions after a long
-      // horizon (fragments are kept; only the work-list entry goes).
+      // horizon (fragments are kept; only the work-list entry goes). With
+      // per-class horizons the durable class got the (longer) durable
+      // horizon above, so anything dropped here is non-durable-class.
+      const bool durable = durable_class(ov, &work);
       store_meta_.erase(ov);
       work_.erase(ov);
       ++versions_given_up_;
       m_giveups_->inc();
-      telemetry().spans.interval(ov, "give_up", id(), sim_.now(), sim_.now());
+      given_up_versions_.push_back(ov);
+      telemetry().spans.interval(ov, "give_up", id(), sim_.now(), sim_.now(),
+                                 durable ? "class=durable"
+                                         : "class=non-durable");
       telemetry().spans.report_work_done(ov, id());
       continue;
     }
@@ -320,6 +377,7 @@ void FragmentServer::begin_sibling_recovery(const ObjectVersionId& ov,
   const Metadata& meta = *store_meta_.find(ov);
   work.recovering = true;
   work.plain_recovery = false;
+  m_sibling_recoveries_->inc();
   telemetry().spans.report_work(ov, id(), work.next_attempt, true, "sibling");
   work.gathered.clear();
   work.requested_slots.clear();
@@ -399,7 +457,10 @@ void FragmentServer::recovery_gather(const ObjectVersionId& ov, Work& work) {
   if (static_cast<int>(candidates.size()) < need) {
     if (outstanding == 0) {
       // Nothing in flight and not enough reachable sources; retry a later
-      // round under backoff.
+      // round under backoff. Every responsive source answered ⊥ or reported
+      // the slot missing, so this is direct evidence the cluster cannot
+      // supply k fragments right now — durable evidence must be re-earned.
+      revoke_durable_evidence(ov, work);
       cancel_recovery(ov, work);
     }
     // Otherwise wait: in-flight replies may still push us over k.
@@ -582,6 +643,7 @@ void FragmentServer::mark_amr(const ObjectVersionId& ov) {
   store_meta_.erase(ov);
   ++versions_converged_;
   m_converged_->inc();
+  if (options_.giveup_age_durable >= 0) amr_history_.insert(ov);
   telemetry().amr.on_amr_confirmed(ov, sim_.now());
   telemetry().spans.on_amr_confirmed(ov, id());
   telemetry().spans.report_work_done(ov, id());
@@ -652,6 +714,7 @@ void FragmentServer::on_fs_converge(NodeId from,
   auto wit = work_.find(req.ov);
   if (req.intends_recovery && wit != work_.end() &&
       wit->second.recovering && from.value > id().value) {
+    m_collisions_->inc();
     cancel_recovery(req.ov, wit->second);
     bump_backoff(wit->second);
     telemetry().spans.report_work(req.ov, id(), wit->second.next_attempt,
@@ -685,6 +748,7 @@ void FragmentServer::on_fs_converge_rep(NodeId from,
     }
     // Reply-path backoff mirror of the §4.2 rule.
     if (rep.also_recovering && from.value > id().value) {
+      m_collisions_->inc();
       cancel_recovery(rep.ov, work);
       bump_backoff(work);
       telemetry().spans.report_work(rep.ov, id(), work.next_attempt, false);
@@ -693,6 +757,11 @@ void FragmentServer::on_fs_converge_rep(NodeId from,
   }
   if (rep.verified) {
     work.verify_acks.insert(from);
+    // A verified sibling proves its assigned fragments are intact; that is
+    // durable-class evidence this FS can certify without any extra traffic.
+    if (const Metadata* meta = store_meta_.find(rep.ov); meta != nullptr) {
+      certify_slots(rep.ov, work, meta->fragments_for(from));
+    }
     check_amr(rep.ov, work);
   }
 }
@@ -724,6 +793,7 @@ void FragmentServer::on_amr_indication(const wire::AmrIndication& msg) {
     work_.erase(wit);
   }
   store_meta_.erase(msg.ov);
+  if (options_.giveup_age_durable >= 0) amr_history_.insert(msg.ov);
   telemetry().spans.report_work_done(msg.ov, id());
 }
 
@@ -765,6 +835,10 @@ void FragmentServer::on_retrieve_frag_rep(NodeId /*from*/,
     const Metadata* meta = store_meta_.find(rep.ov);
     if (meta == nullptr ||
         static_cast<int>(wit->second.gathered.size()) < meta->policy.k) {
+      // Every requested source replied and we are still short of k: the
+      // reachable cluster demonstrably lacks the fragments (crashed sources
+      // take the deadline path instead and keep the evidence).
+      if (meta != nullptr) revoke_durable_evidence(rep.ov, wit->second);
       cancel_recovery(rep.ov, wit->second);
     }
   }
@@ -816,7 +890,9 @@ size_t FragmentServer::scrub() {
     // Honor the give-up horizon (§3.5): resurrecting a version convergence
     // already gave up on would livelock scrub against give-up. Past the
     // horizon, damaged versions are left to the (elided) disk rebuild.
-    if (version_age(ov) > options_.giveup_age) continue;
+    // With per-class horizons, versions in the AMR history get the durable
+    // horizon, so scrub repairs arbitrarily old AMR-eligible versions.
+    if (version_age(ov) > giveup_horizon(ov, nullptr)) continue;
     const storage::FragStore::Entry* entry = store_frag_.find(ov);
     bool damaged = false;
     for (int slot : entry->meta.fragments_for(id())) {

@@ -57,6 +57,12 @@ class FragmentServer : public Server {
   // Counters for tests and experiments.
   uint64_t versions_converged() const { return versions_converged_; }
   uint64_t versions_given_up() const { return versions_given_up_; }
+  /// Every version this FS dropped at the give-up horizon, in drop order
+  /// (the per-durability-class regression tests check none of them was
+  /// durable).
+  const std::vector<ObjectVersionId>& given_up_versions() const {
+    return given_up_versions_;
+  }
   uint64_t recoveries_completed() const { return recoveries_completed_; }
   uint64_t recovery_backoffs() const { return recovery_backoffs_; }
   uint64_t rounds_run() const { return rounds_run_; }
@@ -86,6 +92,14 @@ class FragmentServer : public Server {
     sim::TimerId recovery_timer = 0;   // §4.2 reply-accumulation window
     sim::TimerId recovery_deadline = 0;  // abandon a stalled recovery
     sim::TimerId recovery_retry = 0;   // retransmit outstanding fetches
+    // Per-durability-class give-up evidence: distinct fragment slots this
+    // FS has seen intact somewhere (its own, gathered during recovery, or
+    // certified by a sibling's verified converge reply). Once >= k slots
+    // are certified the version is treated as durable-class (sticky until
+    // a recovery exhausts its sources, which is direct evidence the
+    // cluster lost it).
+    std::set<int> certified_slots;
+    bool durable_evidence = false;
   };
 
   // Message handlers.
@@ -132,6 +146,22 @@ class FragmentServer : public Server {
                             const Sha256::Digest& digest);
   void bump_backoff(Work& work);
   SimTime version_age(const ObjectVersionId& ov) const;
+  /// Per-durability-class give-up (see ConvergenceOptions): certify what we
+  /// can from local state, then report whether the version has durable
+  /// evidence. `work` may be null (the scrub path, where only AMR history
+  /// applies).
+  bool durable_class(const ObjectVersionId& ov, Work* work);
+  /// Horizon that applies to this version: giveup_age when the per-class
+  /// split is off or the version is non-durable-class, giveup_age_durable
+  /// otherwise.
+  SimTime giveup_horizon(const ObjectVersionId& ov, Work* work);
+  /// Certify `slots` as seen-intact and flip durable_evidence at >= k.
+  void certify_slots(const ObjectVersionId& ov, Work& work,
+                     const std::vector<int>& slots);
+  /// A recovery ran out of sources: the cluster demonstrably cannot supply
+  /// k fragments right now, so durable evidence (including AMR history) is
+  /// revoked and must be re-earned.
+  void revoke_durable_evidence(const ObjectVersionId& ov, Work& work);
   const erasure::ReedSolomon& codec(const Policy& policy);
   Work& work_for(const ObjectVersionId& ov);
 
@@ -154,6 +184,12 @@ class FragmentServer : public Server {
   uint64_t recoveries_completed_ = 0;
   uint64_t recovery_backoffs_ = 0;
   uint64_t rounds_run_ = 0;
+  std::vector<ObjectVersionId> given_up_versions_;
+  /// Versions this FS verified AMR (or was told reached AMR). Modeled as
+  /// persisted alongside the fragment store — the one-bit marker lets scrub
+  /// distinguish "damaged AMR version worth repairing forever" from
+  /// "given-up version that must not be resurrected" (see DESIGN.md §9).
+  std::set<ObjectVersionId> amr_history_;
 
   // Registry handles (labeled {node}); cached once in the constructor.
   obs::Counter* m_rounds_ = nullptr;
@@ -164,6 +200,8 @@ class FragmentServer : public Server {
   obs::Counter* m_backoffs_ = nullptr;
   obs::Counter* m_recoveries_ = nullptr;
   obs::Counter* m_scrub_repairs_ = nullptr;
+  obs::Counter* m_collisions_ = nullptr;
+  obs::Counter* m_sibling_recoveries_ = nullptr;
   obs::Histogram* m_converge_attempts_ = nullptr;
 };
 

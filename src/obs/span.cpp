@@ -274,6 +274,17 @@ size_t SpanTracer::span_count(const ObjectVersionId& ov) const {
   return v == nullptr ? 0 : v->spans.size();
 }
 
+void SpanTracer::visit_spans(
+    const std::function<void(const ObjectVersionId&, const Span&)>& visit)
+    const {
+  // index_ is an ordered map over (key, ts); span ids are allocated in
+  // simulation order within a version — both orders are seed-deterministic.
+  for (const auto& [ov, vidx] : index_) {
+    const VersionTrace& v = versions_[vidx];
+    for (const Span& span : v.spans) visit(ov, span);
+  }
+}
+
 std::string SpanTracer::render_tree(const ObjectVersionId& ov) const {
   const VersionTrace* v = find(ov);
   if (v == nullptr) return {};

@@ -29,6 +29,7 @@
 #include <array>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -149,6 +150,14 @@ class SpanTracer {
   /// Annotated text tree of one version's lifecycle (deterministic; used by
   /// the version_inspector CLI and chaos forensics). Empty if untracked.
   std::string render_tree(const ObjectVersionId& ov) const;
+
+  /// Deterministic walk over every stored span: versions in (key, ts)
+  /// order, spans in id order within each version. This is the chaos
+  /// coverage extractor's raw feed — iteration order is part of the
+  /// signature-determinism contract (DESIGN.md §9), so it must never depend
+  /// on container addresses or insertion races.
+  void visit_spans(const std::function<void(const ObjectVersionId&,
+                                            const Span&)>& visit) const;
 
   /// Chrome trace-event / Perfetto JSON: {"traceEvents": [...]} with "M"
   /// process_name metadata per node and one "X" complete event per span

@@ -2,6 +2,9 @@
 // sweep driver, and schedule shrinking.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
+#include "chaos/mutate.h"
 #include "chaos/schedule.h"
 #include "chaos/shrink.h"
 #include "chaos/sweep.h"
@@ -64,12 +67,95 @@ TEST(ScheduleGenerator, FamilySwitchesRestrictKinds) {
   EXPECT_TRUE(chaos::generate_schedule(1, topology, none).empty());
 }
 
+TEST(ScheduleOptions, RejectsNegativeIntensity) {
+  chaos::ScheduleOptions options;
+  options.intensity = -0.5;
+  EXPECT_THROW(chaos::generate_schedule(1, core::ClusterTopology{}, options),
+               std::invalid_argument);
+  try {
+    chaos::validate(options);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("intensity"), std::string::npos);
+  }
+}
+
+TEST(ScheduleOptions, RejectsLossRateOutsideUnitInterval) {
+  chaos::ScheduleOptions options;
+  options.max_loss_rate = 1.5;
+  EXPECT_THROW(chaos::validate(options), std::invalid_argument);
+  options.max_loss_rate = -0.1;
+  EXPECT_THROW(chaos::validate(options), std::invalid_argument);
+}
+
+TEST(ScheduleOptions, RejectsDuplicationRateOutsideUnitInterval) {
+  chaos::ScheduleOptions options;
+  options.max_duplication_rate = 2.0;
+  EXPECT_THROW(chaos::validate(options), std::invalid_argument);
+  options.max_duplication_rate = -1.0;
+  EXPECT_THROW(chaos::validate(options), std::invalid_argument);
+}
+
+TEST(ScheduleOptions, RejectsInvertedWindowBounds) {
+  chaos::ScheduleOptions options;
+  options.min_window = options.max_window + 1;
+  try {
+    chaos::generate_schedule(1, core::ClusterTopology{}, options);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("min_window"), std::string::npos);
+  }
+  options = {};
+  options.min_window = -1;
+  EXPECT_THROW(chaos::validate(options), std::invalid_argument);
+}
+
+TEST(ScheduleOptions, RejectsNonPositiveFaultHorizon) {
+  chaos::ScheduleOptions options;
+  options.fault_horizon = 0;
+  EXPECT_THROW(chaos::validate(options), std::invalid_argument);
+}
+
+TEST(ScheduleOptions, DefaultsValidate) {
+  EXPECT_NO_THROW(chaos::validate(chaos::ScheduleOptions{}));
+}
+
 TEST(ScheduleSerde, RoundTrips) {
   const auto schedule =
       chaos::generate_schedule(11, core::ClusterTopology{}, {});
   ASSERT_FALSE(schedule.empty());
   const Bytes encoded = chaos::encode_schedule(schedule);
   EXPECT_EQ(chaos::decode_schedule(encoded), schedule);
+}
+
+// Property test over generated AND mutated schedules: the binary round
+// trip is exact, and the textual repro stays a pastable FaultSpec list for
+// every schedule the search can produce.
+TEST(ScheduleSerde, GeneratedAndMutatedSchedulesRoundTripManySeeds) {
+  const core::ClusterTopology topology;
+  std::vector<std::vector<FaultSpec>> corpus;
+  for (uint64_t seed = 1; seed <= 60; ++seed) {
+    std::vector<FaultSpec> schedule =
+        chaos::generate_schedule(seed, topology, {});
+    if (seed % 2 == 0) {
+      schedule = chaos::mutate_schedule(schedule, corpus, seed, topology);
+    }
+    corpus.push_back(schedule);
+
+    EXPECT_EQ(chaos::decode_schedule(chaos::encode_schedule(schedule)),
+              schedule)
+        << "seed " << seed;
+
+    const std::string repro = chaos::format_repro(schedule);
+    EXPECT_NE(repro.find("config.faults = {"), std::string::npos);
+    size_t factory_calls = 0;
+    for (size_t pos = repro.find("core::FaultSpec::");
+         pos != std::string::npos;
+         pos = repro.find("core::FaultSpec::", pos + 1)) {
+      ++factory_calls;
+    }
+    EXPECT_EQ(factory_calls, schedule.size()) << "seed " << seed;
+  }
 }
 
 TEST(ScheduleSerde, RejectsBadKindAndTruncation) {
@@ -228,6 +314,67 @@ TEST(Shrinker, ReducesCorruptionScheduleToMinimalRepro) {
   const chaos::ShrinkResult second = chaos::shrink_schedule(config, schedule);
   EXPECT_EQ(first.schedule, second.schedule);
   EXPECT_EQ(first.runs, second.runs);
+}
+
+// --- per-durability-class give-up horizons ----------------------------------
+
+// A corruption landing AFTER the give-up age: under the paper's single-age
+// behavior scrub must skip the version (see the negative control below),
+// but with per-class horizons (the chaos default) the version is in the
+// FS's AMR history, gets the durable horizon, is re-added by scrub, and is
+// repaired — the full chaos audit passes and no durable version is ever
+// dropped from a work-list.
+TEST(ClassGiveup, LateCorruptionIsRepairedUnderDurableHorizon) {
+  core::RunConfig config = chaos::chaos_default_config();
+  ASSERT_EQ(config.convergence.giveup_age_durable,
+            core::ConvergenceOptions::kNeverGiveUp);
+  config.workload.num_puts = 10;
+  const SimTime late =
+      config.convergence.giveup_age + 30LL * 60 * kMicrosPerSecond;
+  config.faults = {FaultSpec::frag_corrupt(0, 1, late)};
+
+  const core::RunResult result = core::run_experiment(config);
+  EXPECT_TRUE(result.audit.passed()) << result.audit.to_string();
+  EXPECT_EQ(result.amr, result.versions_total);
+  // Everything stored was durable; the durable horizon dropped none of it.
+  EXPECT_EQ(result.given_up, 0);
+}
+
+// Negative control: the identical schedule under the single-age behavior
+// (giveup_age_durable < 0, figure parity default) leaves the corrupted
+// version short of maximum redundancy forever — scrub must honor the one
+// horizon it has, so the damage is never repaired and the audit fails.
+TEST(ClassGiveup, LateCorruptionViolatesUnderSingleAge) {
+  core::RunConfig config = chaos::chaos_default_config();
+  config.convergence.giveup_age_durable = -1;
+  config.workload.num_puts = 10;
+  const SimTime late =
+      config.convergence.giveup_age + 30LL * 60 * kMicrosPerSecond;
+  config.faults = {FaultSpec::frag_corrupt(0, 1, late)};
+
+  const core::RunResult result = core::run_experiment(config);
+  ASSERT_FALSE(result.audit.passed());
+  bool saw_durable_not_amr = false;
+  for (const auto& v : result.audit.violations) {
+    if (v.kind == core::InvariantViolation::Kind::kDurableNotAmr ||
+        v.kind == core::InvariantViolation::Kind::kAckedNotAmr) {
+      saw_durable_not_amr = true;
+    }
+  }
+  EXPECT_TRUE(saw_durable_not_amr) << result.audit.to_string();
+}
+
+// Chaos-audited regression: randomized schedules with per-class horizons on
+// (the default) must hold every invariant — in particular, non-durable
+// versions still leave the work-lists at giveup_age (quiescence) while
+// durable ones are never dropped.
+TEST(ClassGiveup, RandomSchedulesHoldAllInvariants) {
+  chaos::SweepOptions options;
+  options.seeds = 8;
+  options.base_seed = 101;  // disjoint from the acceptance sweep's seeds
+  const chaos::SweepResult result =
+      chaos::run_sweep(chaos::chaos_default_config(), options);
+  EXPECT_TRUE(result.passed()) << result.summary();
 }
 
 // A schedule that does not fail comes back unchanged with a passing audit.
