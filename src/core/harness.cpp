@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "common/parallel.h"
+#include "erasure/gf256.h"
 
 namespace pahoehoe::core {
 
@@ -432,6 +433,14 @@ RunResult run_experiment(const RunConfig& config) {
       .set(static_cast<double>(tel.amr.backlog_peak()));
   tel.metrics.counter("amr_acked_total").inc(tel.amr.acked());
   tel.metrics.counter("amr_confirmed_total").inc(tel.amr.confirmed());
+  // Which GF(2^8) kernel encoded this run's fragments. The label is the one
+  // metric allowed to differ across kernels — every other byte of the run
+  // is kernel-independent (DESIGN.md §10), which kernel_determinism_test
+  // asserts by digesting runs modulo this line.
+  tel.metrics
+      .counter("erasure_kernel_runs_total",
+               {{"kernel", gf256::to_string(gf256::active_kernel())}})
+      .inc();
   result.metrics = tel.metrics;
   result.time_to_amr_s = tel.amr.latency_s();
   result.amr_confirmed = tel.amr.confirmed();

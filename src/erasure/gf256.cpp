@@ -1,6 +1,7 @@
 #include "erasure/gf256.h"
 
 #include "common/check.h"
+#include "erasure/gf256_kernels.h"
 
 namespace pahoehoe::gf256 {
 namespace detail {
@@ -33,6 +34,12 @@ Tables build_tables() {
   for (int a = 1; a < 256; ++a) {
     t.inv[a] = t.exp[255 - t.log[a]];
   }
+  for (int c = 0; c < 256; ++c) {
+    for (int i = 0; i < 16; ++i) {
+      t.nib[c][static_cast<size_t>(i)] = t.mul[c][i];
+      t.nib[c][static_cast<size_t>(16 + i)] = t.mul[c][i << 4];
+    }
+  }
   return t;
 }
 
@@ -41,6 +48,11 @@ Tables build_tables() {
 const Tables& tables() {
   static const Tables t = build_tables();
   return t;
+}
+
+void mul_acc_scalar(uint8_t* dst, const uint8_t* src, size_t len,
+                    const uint8_t* /*nib32*/, const uint8_t* row) {
+  for (size_t i = 0; i < len; ++i) dst[i] ^= row[src[i]];
 }
 
 }  // namespace detail
@@ -61,13 +73,15 @@ uint8_t pow(uint8_t a, unsigned e) {
 void mul_acc(std::span<uint8_t> dst, std::span<const uint8_t> src,
              uint8_t coef) {
   PAHOEHOE_CHECK(dst.size() == src.size());
-  if (coef == 0) return;
+  if (coef == 0 || dst.empty()) return;
   if (coef == 1) {
+    // Pure XOR; the compiler vectorizes this loop on its own.
     for (size_t i = 0; i < dst.size(); ++i) dst[i] ^= src[i];
     return;
   }
-  const auto& row = detail::tables().mul[coef];
-  for (size_t i = 0; i < dst.size(); ++i) dst[i] ^= row[src[i]];
+  const auto& t = detail::tables();
+  detail::active_mul_acc()(dst.data(), src.data(), dst.size(),
+                           t.nib[coef].data(), t.mul[coef].data());
 }
 
 }  // namespace pahoehoe::gf256

@@ -1,14 +1,24 @@
 // Arithmetic over GF(2^8) with the AES/Reed-Solomon-conventional reduction
 // polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11d), generator 2.
 //
-// Tables are built once at static-initialization time; multiplication is a
-// single 64 KiB table lookup, which keeps encode/decode fast enough for the
-// paper's workloads (100 KiB objects) without SIMD.
+// Single multiplies are a 64 KiB table lookup. The bulk multiply-accumulate
+// (`mul_acc`, the inner loop of every encode/decode) dispatches at runtime
+// to the widest available SIMD kernel — split low/high-nibble 16-entry
+// product tables applied with PSHUFB (SSSE3) or VPSHUFB (AVX2), the
+// ISA-L/Plank FAST'09 technique — with the scalar table loop kept as the
+// portable fallback and bit-exactness oracle. Every kernel produces
+// byte-identical output (see DESIGN.md §10), so simulation results never
+// depend on the host CPU. `PAHOEHOE_GF256_KERNEL=scalar|ssse3|avx2|auto`
+// overrides the choice for testing and benchmarking; `force_kernel` does
+// the same in-process.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <span>
+#include <string_view>
+#include <vector>
 
 namespace pahoehoe::gf256 {
 
@@ -22,6 +32,10 @@ struct Tables {
   std::array<uint8_t, 512> exp;            // doubled to skip the mod 255
   std::array<std::array<uint8_t, 256>, 256> mul;
   std::array<uint8_t, 256> inv;            // inv[0] unused
+  // Split-nibble product tables for the SIMD kernels:
+  // nib[c][i] = mul(c, i) and nib[c][16 + i] = mul(c, i << 4) for i < 16,
+  // so mul(c, b) == nib[c][b & 0xf] ^ nib[c][16 + (b >> 4)].
+  alignas(32) std::array<std::array<uint8_t, 32>, 256> nib;
 };
 const Tables& tables();
 }  // namespace detail
@@ -41,7 +55,43 @@ inline uint8_t div(uint8_t a, uint8_t b) { return mul(a, inverse(b)); }
 uint8_t pow(uint8_t a, unsigned e);
 
 /// dst[i] ^= coef * src[i] for all i — the inner loop of encode/decode.
+/// coef == 0 is a no-op and coef == 1 a plain XOR, both taken before the
+/// kernel dispatch. All kernels are bit-exact; buffers need no alignment.
 void mul_acc(std::span<uint8_t> dst, std::span<const uint8_t> src,
              uint8_t coef);
+
+// --- mul_acc kernel selection ----------------------------------------------
+
+enum class Kernel : uint8_t { kScalar = 0, kSsse3 = 1, kAvx2 = 2 };
+inline constexpr int kKernelCount = 3;
+
+/// "scalar", "ssse3", or "avx2".
+const char* to_string(Kernel k);
+
+/// Inverse of to_string; nullopt for anything else (including "auto" —
+/// auto-selection is expressed by reset_kernel / the env default).
+std::optional<Kernel> parse_kernel(std::string_view name);
+
+/// Whether the kernel's code was compiled into this binary at all.
+bool kernel_compiled(Kernel k);
+
+/// Compiled AND supported by the CPU we are running on.
+bool kernel_supported(Kernel k);
+
+/// Every supported kernel, narrowest (scalar) first.
+std::vector<Kernel> supported_kernels();
+
+/// The widest supported kernel — what auto-selection picks.
+Kernel best_kernel();
+
+/// The kernel mul_acc currently dispatches to.
+Kernel active_kernel();
+
+/// Force dispatch to `k` (must be supported) until reset_kernel(). For
+/// tests and benches; call it only while no other thread is encoding.
+void force_kernel(Kernel k);
+
+/// Back to the default choice: $PAHOEHOE_GF256_KERNEL if set, else best.
+void reset_kernel();
 
 }  // namespace pahoehoe::gf256

@@ -1,0 +1,48 @@
+// AVX2 split-nibble mul_acc kernel (VPSHUFB, 32 bytes per step).
+//
+// Same formulation as the SSSE3 kernel with the 16-entry tables broadcast
+// to both 128-bit lanes (VPSHUFB shuffles within lanes, which is exactly
+// what the nibble lookup wants). Only this translation unit gets -mavx2.
+#include "erasure/gf256_kernels.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace pahoehoe::gf256::detail {
+namespace {
+
+void mul_acc_avx2(uint8_t* dst, const uint8_t* src, size_t len,
+                  const uint8_t* nib32, const uint8_t* row) {
+  const __m256i lo = _mm256_broadcastsi128_si256(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(nib32)));
+  const __m256i hi = _mm256_broadcastsi128_si256(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(nib32 + 16)));
+  const __m256i mask = _mm256_set1_epi8(0x0f);
+  size_t i = 0;
+  for (; i + 32 <= len; i += 32) {
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    __m256i d = _mm256_loadu_si256(reinterpret_cast<__m256i*>(dst + i));
+    const __m256i prod_lo = _mm256_shuffle_epi8(lo, _mm256_and_si256(s, mask));
+    const __m256i prod_hi = _mm256_shuffle_epi8(
+        hi, _mm256_and_si256(_mm256_srli_epi16(s, 4), mask));
+    d = _mm256_xor_si256(d, _mm256_xor_si256(prod_lo, prod_hi));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), d);
+  }
+  for (; i < len; ++i) dst[i] ^= row[src[i]];
+}
+
+}  // namespace
+
+MulAccFn avx2_impl() { return &mul_acc_avx2; }
+
+}  // namespace pahoehoe::gf256::detail
+
+#else  // !__AVX2__
+
+namespace pahoehoe::gf256::detail {
+MulAccFn avx2_impl() { return nullptr; }
+}  // namespace pahoehoe::gf256::detail
+
+#endif

@@ -1,0 +1,35 @@
+// Internal kernel interface between the GF(2^8) dispatcher and the
+// per-ISA translation units (gf256_ssse3.cpp / gf256_avx2.cpp, each built
+// with its own -m flag so the rest of the library stays portable).
+//
+// Every kernel computes the same contract as the scalar reference:
+//   dst[i] ^= mul(coef, src[i])  for i in [0, len)
+// where `nib32` points at the 32-byte split-nibble product table for `coef`
+// (low-nibble products in bytes 0..15, high-nibble products in 16..31) and
+// `row` at the full 256-byte product row — kernels may use either. Buffers
+// carry no alignment guarantee; vector bodies use unaligned loads/stores
+// and finish sub-vector tails through `row`.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pahoehoe::gf256::detail {
+
+using MulAccFn = void (*)(uint8_t* dst, const uint8_t* src, size_t len,
+                          const uint8_t* nib32, const uint8_t* row);
+
+/// Portable reference kernel (the original table-lookup loop).
+void mul_acc_scalar(uint8_t* dst, const uint8_t* src, size_t len,
+                    const uint8_t* nib32, const uint8_t* row);
+
+/// ISA kernels; nullptr when the toolchain could not compile them (non-x86
+/// targets, or a compiler without the -m flag). Runtime CPU support is the
+/// dispatcher's problem, not theirs.
+MulAccFn ssse3_impl();
+MulAccFn avx2_impl();
+
+/// The currently installed kernel (initializes dispatch on first use).
+MulAccFn active_mul_acc();
+
+}  // namespace pahoehoe::gf256::detail

@@ -1,0 +1,51 @@
+// SSSE3 split-nibble mul_acc kernel (PSHUFB over 16-entry product tables).
+//
+// This translation unit is the only one built with -mssse3; when the
+// toolchain can't do that (non-x86), __SSSE3__ stays undefined and the
+// impl collapses to a nullptr stub the dispatcher never installs.
+#include "erasure/gf256_kernels.h"
+
+#if defined(__SSSE3__)
+
+#include <tmmintrin.h>
+
+namespace pahoehoe::gf256::detail {
+namespace {
+
+void mul_acc_ssse3(uint8_t* dst, const uint8_t* src, size_t len,
+                   const uint8_t* nib32, const uint8_t* row) {
+  const __m128i lo =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(nib32));
+  const __m128i hi =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(nib32 + 16));
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  size_t i = 0;
+  // Unaligned loads/stores: fragment buffers carry no alignment guarantee.
+  for (; i + 16 <= len; i += 16) {
+    const __m128i s =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    __m128i d = _mm_loadu_si128(reinterpret_cast<__m128i*>(dst + i));
+    const __m128i prod_lo = _mm_shuffle_epi8(lo, _mm_and_si128(s, mask));
+    // srli_epi16 then mask isolates each byte's high nibble (the bits a
+    // 16-bit shift drags across byte boundaries are masked off).
+    const __m128i prod_hi =
+        _mm_shuffle_epi8(hi, _mm_and_si128(_mm_srli_epi16(s, 4), mask));
+    d = _mm_xor_si128(d, _mm_xor_si128(prod_lo, prod_hi));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), d);
+  }
+  for (; i < len; ++i) dst[i] ^= row[src[i]];
+}
+
+}  // namespace
+
+MulAccFn ssse3_impl() { return &mul_acc_ssse3; }
+
+}  // namespace pahoehoe::gf256::detail
+
+#else  // !__SSSE3__
+
+namespace pahoehoe::gf256::detail {
+MulAccFn ssse3_impl() { return nullptr; }
+}  // namespace pahoehoe::gf256::detail
+
+#endif

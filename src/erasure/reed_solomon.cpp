@@ -21,6 +21,27 @@ Matrix build_systematic_matrix(int k, int n) {
   return v.multiply(top_inv);
 }
 
+// Row-major product of the selected matrix rows against whole fragments:
+// out[r] = sum_j m(rows[r], j) * inputs[j]. Every encode/decode/regenerate
+// funnels through this loop, so the gf256 kernel dispatch (scalar / SSSE3 /
+// AVX2, bit-exact by contract) covers all of them. mul_acc itself takes the
+// coefficient 0 (skip) and 1 (XOR) fast paths — with a systematic matrix the
+// identity rows reduce to a single copy-by-XOR.
+std::vector<Bytes> multiply_rows(const Matrix& m, const std::vector<int>& rows,
+                                 const std::vector<const Bytes*>& inputs,
+                                 size_t frag_size) {
+  std::vector<Bytes> out;
+  out.reserve(rows.size());
+  for (int r : rows) {
+    Bytes acc(frag_size, 0);
+    for (size_t j = 0; j < inputs.size(); ++j) {
+      gf256::mul_acc(acc, *inputs[j], m.at(r, static_cast<int>(j)));
+    }
+    out.push_back(std::move(acc));
+  }
+  return out;
+}
+
 }  // namespace
 
 ReedSolomon::ReedSolomon(int k, int n)
@@ -38,7 +59,8 @@ std::vector<Bytes> ReedSolomon::encode(const Bytes& value) const {
   const size_t frag_size = fragment_size(value.size());
   std::vector<Bytes> fragments(static_cast<size_t>(n_));
 
-  // Data fragments: stripe the value, zero-padding the tail.
+  // Data fragments: stripe the value, zero-padding the tail. An empty value
+  // yields n zero-length fragments (frag_size == 0).
   for (int i = 0; i < k_; ++i) {
     Bytes frag(frag_size, 0);
     const size_t offset = static_cast<size_t>(i) * frag_size;
@@ -49,14 +71,17 @@ std::vector<Bytes> ReedSolomon::encode(const Bytes& value) const {
     fragments[static_cast<size_t>(i)] = std::move(frag);
   }
 
-  // Parity fragments: row i of the encode matrix applied to the data rows.
-  for (int i = k_; i < n_; ++i) {
-    Bytes frag(frag_size, 0);
-    for (int j = 0; j < k_; ++j) {
-      gf256::mul_acc(frag, fragments[static_cast<size_t>(j)],
-                     encode_matrix_.at(i, j));
-    }
-    fragments[static_cast<size_t>(i)] = std::move(frag);
+  // Parity fragments: rows k..n-1 of the encode matrix over the data rows.
+  std::vector<const Bytes*> data;
+  data.reserve(static_cast<size_t>(k_));
+  for (int j = 0; j < k_; ++j) data.push_back(&fragments[static_cast<size_t>(j)]);
+  std::vector<int> parity_rows;
+  parity_rows.reserve(static_cast<size_t>(n_ - k_));
+  for (int i = k_; i < n_; ++i) parity_rows.push_back(i);
+  std::vector<Bytes> parity =
+      multiply_rows(encode_matrix_, parity_rows, data, frag_size);
+  for (size_t i = 0; i < parity.size(); ++i) {
+    fragments[static_cast<size_t>(k_) + i] = std::move(parity[i]);
   }
   return fragments;
 }
@@ -84,15 +109,9 @@ std::vector<Bytes> ReedSolomon::recover_data_fragments(
                      "need k distinct fragment indices to decode");
 
   const Matrix decode = encode_matrix_.select_rows(indices).inverted();
-  std::vector<Bytes> data_frags(static_cast<size_t>(k_),
-                                Bytes(frag_size, 0));
-  for (int r = 0; r < k_; ++r) {
-    for (int c = 0; c < k_; ++c) {
-      gf256::mul_acc(data_frags[static_cast<size_t>(r)],
-                     *data[static_cast<size_t>(c)], decode.at(r, c));
-    }
-  }
-  return data_frags;
+  std::vector<int> rows(static_cast<size_t>(k_));
+  for (int r = 0; r < k_; ++r) rows[static_cast<size_t>(r)] = r;
+  return multiply_rows(decode, rows, data, frag_size);
 }
 
 Bytes ReedSolomon::decode(const std::vector<IndexedFragment>& fragments,
@@ -122,24 +141,17 @@ std::vector<Bytes> ReedSolomon::regenerate(
 std::vector<Bytes> ReedSolomon::regenerate_sized(
     const std::vector<IndexedFragment>& available,
     const std::vector<int>& target_indices, size_t frag_size) const {
-  std::vector<Bytes> out;
-  out.reserve(target_indices.size());
   if (frag_size == 0) {
-    out.assign(target_indices.size(), Bytes{});
-    return out;
+    return std::vector<Bytes>(target_indices.size(), Bytes{});
   }
   std::vector<Bytes> data_frags = recover_data_fragments(available, frag_size);
-
+  std::vector<const Bytes*> data;
+  data.reserve(data_frags.size());
+  for (const Bytes& f : data_frags) data.push_back(&f);
   for (int target : target_indices) {
     PAHOEHOE_CHECK(target >= 0 && target < n_);
-    Bytes frag(frag_size, 0);
-    for (int j = 0; j < k_; ++j) {
-      gf256::mul_acc(frag, data_frags[static_cast<size_t>(j)],
-                     encode_matrix_.at(target, j));
-    }
-    out.push_back(std::move(frag));
   }
-  return out;
+  return multiply_rows(encode_matrix_, target_indices, data, frag_size);
 }
 
 }  // namespace pahoehoe::erasure

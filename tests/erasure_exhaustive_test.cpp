@@ -1,10 +1,13 @@
 // Exhaustive erasure-code checks, kept in their own binary because they are
 // heavier than the unit tests: full GF(2^8) table verification against a
-// reference implementation and every k-subset decode for the paper's
-// default (k=4, n=12) code.
+// reference implementation, every k-subset decode for the paper's default
+// (k=4, n=12) code, and the cross-kernel differential battery that pins
+// every compiled SIMD mul_acc kernel byte-identical to the scalar oracle
+// (the simulation's determinism contract, DESIGN.md §10).
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <utility>
 
 #include "common/rng.h"
 #include "erasure/gf256.h"
@@ -12,6 +15,12 @@
 
 namespace pahoehoe::erasure {
 namespace {
+
+/// Restores the dispatcher's own kernel choice on scope exit, so a failing
+/// assertion can't leak a forced kernel into later tests.
+struct KernelGuard {
+  ~KernelGuard() { gf256::reset_kernel(); }
+};
 
 /// Reference GF(2^8) multiply: Russian-peasant with explicit reduction by
 /// x^8 + x^4 + x^3 + x^2 + 1 — independent of the table construction.
@@ -48,31 +57,40 @@ TEST(Gf256ExhaustiveTest, DivisionInvertsMultiplicationEverywhere) {
   }
 }
 
-TEST(ReedSolomonExhaustiveTest, EveryKSubsetDecodesDefaultPolicy) {
-  // All C(12,4) = 495 fragment subsets of the paper's default code.
+TEST(ReedSolomonExhaustiveTest, EveryKSubsetDecodesDefaultPolicyEveryKernel) {
+  // All C(12,4) = 495 fragment subsets of the paper's default code, decoded
+  // under every supported kernel; the fragments themselves must also be
+  // kernel-independent.
+  KernelGuard guard;
   ReedSolomon rs(4, 12);
   Rng rng(20260707);
   Bytes value(1024);
   for (auto& byte : value) byte = static_cast<uint8_t>(rng.next_u64());
+  gf256::force_kernel(gf256::Kernel::kScalar);
   const auto frags = rs.encode(value);
 
-  int subsets = 0;
-  for (int a = 0; a < 12; ++a) {
-    for (int b = a + 1; b < 12; ++b) {
-      for (int c = b + 1; c < 12; ++c) {
-        for (int d = c + 1; d < 12; ++d) {
-          std::vector<IndexedFragment> input{{a, &frags[static_cast<size_t>(a)]},
-                                             {b, &frags[static_cast<size_t>(b)]},
-                                             {c, &frags[static_cast<size_t>(c)]},
-                                             {d, &frags[static_cast<size_t>(d)]}};
-          ASSERT_EQ(rs.decode(input, value.size()), value)
-              << a << "," << b << "," << c << "," << d;
-          ++subsets;
+  for (gf256::Kernel kernel : gf256::supported_kernels()) {
+    gf256::force_kernel(kernel);
+    ASSERT_EQ(rs.encode(value), frags) << gf256::to_string(kernel);
+    int subsets = 0;
+    for (int a = 0; a < 12; ++a) {
+      for (int b = a + 1; b < 12; ++b) {
+        for (int c = b + 1; c < 12; ++c) {
+          for (int d = c + 1; d < 12; ++d) {
+            std::vector<IndexedFragment> input{{a, &frags[static_cast<size_t>(a)]},
+                                               {b, &frags[static_cast<size_t>(b)]},
+                                               {c, &frags[static_cast<size_t>(c)]},
+                                               {d, &frags[static_cast<size_t>(d)]}};
+            ASSERT_EQ(rs.decode(input, value.size()), value)
+                << gf256::to_string(kernel) << ": " << a << "," << b << ","
+                << c << "," << d;
+            ++subsets;
+          }
         }
       }
     }
+    EXPECT_EQ(subsets, 495);
   }
-  EXPECT_EQ(subsets, 495);
 }
 
 TEST(ReedSolomonExhaustiveTest, EverySingleFragmentRegenerableFromEveryKSubset) {
@@ -114,6 +132,158 @@ TEST(ReedSolomonExhaustiveTest, CorruptedFragmentYieldsWrongDecodeNotCrash) {
   const Bytes out = rs.decode(input, value.size());
   EXPECT_NE(out, value);
   EXPECT_EQ(out.size(), value.size());
+}
+
+// --- cross-kernel differential battery -------------------------------------
+
+// Every compiled-and-supported kernel must reproduce the scalar codec's
+// fragments and recovered data byte for byte, across the full (k, n)
+// encode / erase / decode sweep. The scalar pass runs first and is the
+// oracle; nothing here assumes the host has any SIMD at all.
+TEST(CrossKernelTest, EncodeEraseDecodeSweepMatchesScalarByteForByte) {
+  KernelGuard guard;
+  const std::vector<std::pair<int, int>> shapes{
+      {1, 2}, {2, 3}, {3, 5}, {4, 12}, {8, 12}, {16, 20}};
+  // Sizes straddling fragment-size boundaries: not divisible by k, shorter
+  // than one vector register, and multi-KiB bodies with ragged tails.
+  const std::vector<size_t> sizes{0, 1, 3, 16, 31, 257, 4096, 100 * 1024 + 7};
+
+  for (const auto& [k, n] : shapes) {
+    ReedSolomon rs(k, n);
+    for (size_t size : sizes) {
+      Rng rng(static_cast<uint64_t>(k * 1'000'003 + n * 1009) + size);
+      Bytes value(size);
+      for (auto& b : value) b = static_cast<uint8_t>(rng.next_u64());
+
+      gf256::force_kernel(gf256::Kernel::kScalar);
+      const auto oracle_frags = rs.encode(value);
+
+      // A handful of erase patterns per shape: which k survivors decode.
+      std::vector<std::vector<int>> survivor_sets;
+      std::vector<int> all(static_cast<size_t>(n));
+      std::iota(all.begin(), all.end(), 0);
+      for (int trial = 0; trial < 8; ++trial) {
+        std::vector<int> pick = all;
+        std::shuffle(pick.begin(), pick.end(), rng.engine());
+        pick.resize(static_cast<size_t>(k));
+        survivor_sets.push_back(std::move(pick));
+      }
+
+      std::vector<Bytes> oracle_decodes;
+      for (const auto& survivors : survivor_sets) {
+        std::vector<IndexedFragment> input;
+        for (int i : survivors) {
+          input.push_back({i, &oracle_frags[static_cast<size_t>(i)]});
+        }
+        oracle_decodes.push_back(rs.decode(input, size));
+        ASSERT_EQ(oracle_decodes.back(), value);
+      }
+
+      for (gf256::Kernel kernel : gf256::supported_kernels()) {
+        gf256::force_kernel(kernel);
+        const auto frags = rs.encode(value);
+        ASSERT_EQ(frags, oracle_frags)
+            << "kernel " << gf256::to_string(kernel) << " k=" << k
+            << " n=" << n << " size=" << size;
+        for (size_t s = 0; s < survivor_sets.size(); ++s) {
+          std::vector<IndexedFragment> input;
+          for (int i : survivor_sets[s]) {
+            input.push_back({i, &frags[static_cast<size_t>(i)]});
+          }
+          ASSERT_EQ(rs.decode(input, size), oracle_decodes[s])
+              << "kernel " << gf256::to_string(kernel) << " k=" << k
+              << " n=" << n << " size=" << size << " subset " << s;
+        }
+      }
+    }
+  }
+}
+
+// Regeneration (the §4.2 sibling-recovery path) under every kernel equals
+// the scalar-encoded originals.
+TEST(CrossKernelTest, RegenerateMatchesScalarFragments) {
+  KernelGuard guard;
+  ReedSolomon rs(4, 12);
+  Rng rng(20260808);
+  Bytes value(64 * 1024 + 13);
+  for (auto& b : value) b = static_cast<uint8_t>(rng.next_u64());
+  gf256::force_kernel(gf256::Kernel::kScalar);
+  const auto oracle = rs.encode(value);
+
+  for (gf256::Kernel kernel : gf256::supported_kernels()) {
+    gf256::force_kernel(kernel);
+    std::vector<IndexedFragment> donors{
+        {2, &oracle[2]}, {5, &oracle[5]}, {8, &oracle[8]}, {11, &oracle[11]}};
+    const auto regen =
+        rs.regenerate(donors, {0, 1, 3, 4, 6, 7, 9, 10}, value.size());
+    const std::vector<int> targets{0, 1, 3, 4, 6, 7, 9, 10};
+    for (size_t i = 0; i < targets.size(); ++i) {
+      ASSERT_EQ(regen[i], oracle[static_cast<size_t>(targets[i])])
+          << "kernel " << gf256::to_string(kernel) << " target " << targets[i];
+    }
+  }
+}
+
+// Seeded property test hammering mul_acc's head/tail remainder paths: random
+// buffers, deliberately misaligned offsets, and every length in 0..3×(AVX2
+// vector width), checked against the scalar kernel on identical inputs. The
+// canary bytes around the destination span catch out-of-bounds writes even
+// without ASan (ASan CI additionally catches OOB reads).
+TEST(CrossKernelTest, MulAccMisalignedHeadsAndTailsMatchScalarOracle) {
+  KernelGuard guard;
+  constexpr size_t kMaxLen = 3 * 32;  // three AVX2 registers
+  constexpr size_t kPad = 64;
+  Rng rng(77);
+
+  const std::vector<gf256::Kernel> kernels = gf256::supported_kernels();
+  for (size_t len = 0; len <= kMaxLen; ++len) {
+    for (int trial = 0; trial < 8; ++trial) {
+      const size_t src_off = static_cast<size_t>(rng.next_u64() % 48);
+      const size_t dst_off = static_cast<size_t>(rng.next_u64() % 48);
+      // Cycle coefficients through the fast paths (0, 1) and arbitrary ones.
+      const uint8_t coef =
+          trial == 0 ? 0
+                     : (trial == 1 ? 1 : static_cast<uint8_t>(rng.next_u64()));
+
+      Bytes src(kPad + kMaxLen + kPad);
+      Bytes dst_init(kPad + kMaxLen + kPad);
+      for (auto& b : src) b = static_cast<uint8_t>(rng.next_u64());
+      for (auto& b : dst_init) b = static_cast<uint8_t>(rng.next_u64());
+
+      Bytes expected = dst_init;
+      gf256::force_kernel(gf256::Kernel::kScalar);
+      gf256::mul_acc(std::span<uint8_t>(expected.data() + dst_off, len),
+                     std::span<const uint8_t>(src.data() + src_off, len),
+                     coef);
+
+      for (gf256::Kernel kernel : kernels) {
+        gf256::force_kernel(kernel);
+        Bytes dst = dst_init;
+        gf256::mul_acc(std::span<uint8_t>(dst.data() + dst_off, len),
+                       std::span<const uint8_t>(src.data() + src_off, len),
+                       coef);
+        ASSERT_EQ(dst, expected)
+            << "kernel " << gf256::to_string(kernel) << " len=" << len
+            << " src_off=" << src_off << " dst_off=" << dst_off
+            << " coef=" << static_cast<int>(coef);
+      }
+    }
+  }
+}
+
+// The split-nibble tables the SIMD kernels index must agree with the full
+// product table for every (coefficient, byte) pair.
+TEST(CrossKernelTest, SplitNibbleTablesCoverFullProductTable) {
+  const auto& t = gf256::detail::tables();
+  for (int c = 0; c < 256; ++c) {
+    for (int b = 0; b < 256; ++b) {
+      const uint8_t split = static_cast<uint8_t>(
+          t.nib[static_cast<size_t>(c)][static_cast<size_t>(b & 0xf)] ^
+          t.nib[static_cast<size_t>(c)][static_cast<size_t>(16 + (b >> 4))]);
+      ASSERT_EQ(split, t.mul[static_cast<size_t>(c)][static_cast<size_t>(b)])
+          << c << " * " << b;
+    }
+  }
 }
 
 TEST(ReedSolomonExhaustiveTest, LargeObjectRoundTrip) {

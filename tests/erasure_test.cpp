@@ -102,6 +102,84 @@ TEST(Gf256Test, MulAccAccumulates) {
   EXPECT_EQ(dst2[0], gf256::mul(3, 4));
 }
 
+// --- mul_acc kernel dispatch & fast paths ---------------------------------
+
+/// Restores the dispatcher's own kernel choice on scope exit.
+struct KernelGuard {
+  ~KernelGuard() { gf256::reset_kernel(); }
+};
+
+TEST(Gf256KernelTest, KernelNamesRoundTrip) {
+  for (gf256::Kernel k : {gf256::Kernel::kScalar, gf256::Kernel::kSsse3,
+                          gf256::Kernel::kAvx2}) {
+    EXPECT_EQ(gf256::parse_kernel(gf256::to_string(k)), k);
+  }
+  EXPECT_FALSE(gf256::parse_kernel("auto").has_value());
+  EXPECT_FALSE(gf256::parse_kernel("").has_value());
+  EXPECT_FALSE(gf256::parse_kernel("AVX2").has_value());
+}
+
+TEST(Gf256KernelTest, ScalarAlwaysSupportedAndForceable) {
+  KernelGuard guard;
+  EXPECT_TRUE(gf256::kernel_supported(gf256::Kernel::kScalar));
+  const auto kernels = gf256::supported_kernels();
+  ASSERT_FALSE(kernels.empty());
+  EXPECT_EQ(kernels.front(), gf256::Kernel::kScalar);
+  gf256::force_kernel(gf256::Kernel::kScalar);
+  EXPECT_EQ(gf256::active_kernel(), gf256::Kernel::kScalar);
+  gf256::force_kernel(gf256::best_kernel());
+  EXPECT_EQ(gf256::active_kernel(), gf256::best_kernel());
+}
+
+TEST(Gf256KernelTest, MulAccCoefZeroIsExactNoOpOnEveryKernel) {
+  // A naive kernel would run the table loop for coef 0 and XOR zeros into
+  // dst — harmless — but the contract is stronger: coefficient 0 must not
+  // touch dst at all, so a systematic matrix's zero entries cost nothing.
+  KernelGuard guard;
+  Rng rng(31);
+  for (gf256::Kernel k : gf256::supported_kernels()) {
+    gf256::force_kernel(k);
+    for (size_t len : {0u, 1u, 15u, 16u, 33u, 100u}) {
+      Bytes src(len), dst(len);
+      for (auto& b : src) b = static_cast<uint8_t>(rng.next_u64());
+      for (auto& b : dst) b = static_cast<uint8_t>(rng.next_u64());
+      const Bytes before = dst;
+      gf256::mul_acc(dst, src, 0);
+      EXPECT_EQ(dst, before) << gf256::to_string(k) << " len=" << len;
+    }
+  }
+}
+
+TEST(Gf256KernelTest, MulAccCoefOneIsPureXorOnEveryKernel) {
+  KernelGuard guard;
+  Rng rng(32);
+  for (gf256::Kernel k : gf256::supported_kernels()) {
+    gf256::force_kernel(k);
+    // Lengths around the 16/32-byte vector widths hit the remainder paths.
+    for (size_t len : {1u, 15u, 16u, 17u, 31u, 32u, 33u, 97u}) {
+      Bytes src(len), dst(len);
+      for (auto& b : src) b = static_cast<uint8_t>(rng.next_u64());
+      for (auto& b : dst) b = static_cast<uint8_t>(rng.next_u64());
+      Bytes expected(len);
+      for (size_t i = 0; i < len; ++i) {
+        expected[i] = static_cast<uint8_t>(dst[i] ^ src[i]);
+      }
+      gf256::mul_acc(dst, src, 1);
+      EXPECT_EQ(dst, expected) << gf256::to_string(k) << " len=" << len;
+    }
+  }
+}
+
+TEST(Gf256KernelTest, MulAccEmptySpansAreSafeOnEveryKernel) {
+  KernelGuard guard;
+  for (gf256::Kernel k : gf256::supported_kernels()) {
+    gf256::force_kernel(k);
+    Bytes empty;
+    gf256::mul_acc(empty, empty, 7);  // must not dereference data()
+    EXPECT_TRUE(empty.empty());
+  }
+}
+
 // --- Matrix ---------------------------------------------------------------------
 
 TEST(MatrixTest, IdentityMultiplication) {
@@ -288,6 +366,46 @@ TEST(ReedSolomonTest, EmptyValue) {
   std::vector<IndexedFragment> input;
   for (int i = 0; i < 4; ++i) input.push_back({i, &frags[i]});
   EXPECT_TRUE(rs.decode(input, 0).empty());
+}
+
+TEST(ReedSolomonTest, EmptyValueEncodesUnderEveryKernel) {
+  // A zero-length blob put yields zero-length fragments; the SIMD kernels
+  // must take their len==0 exit without touching any buffer.
+  KernelGuard guard;
+  ReedSolomon rs(4, 12);
+  for (gf256::Kernel k : gf256::supported_kernels()) {
+    gf256::force_kernel(k);
+    const auto frags = rs.encode({});
+    ASSERT_EQ(frags.size(), 12u) << gf256::to_string(k);
+    for (const auto& f : frags) EXPECT_TRUE(f.empty());
+    std::vector<IndexedFragment> input{
+        {3, &frags[3]}, {6, &frags[6]}, {9, &frags[9]}, {11, &frags[11]}};
+    EXPECT_TRUE(rs.decode(input, 0).empty()) << gf256::to_string(k);
+    EXPECT_TRUE(rs.regenerate(input, {0, 5}, 0).size() == 2u);
+  }
+}
+
+TEST(ReedSolomonTest, ValueSizeNotMultipleOfKUnderEveryKernel) {
+  // Ragged sizes make fragment tails shorter than a vector register; every
+  // kernel must produce the same zero-padded fragments as scalar and decode
+  // back to the exact value.
+  KernelGuard guard;
+  ReedSolomon rs(4, 12);
+  for (size_t size : {1u, 2u, 3u, 5u, 63u, 127u, 1001u, 4095u}) {
+    const Bytes value = random_value(size, 7000 + size);
+    EXPECT_EQ(rs.fragment_size(size), (size + 3) / 4);
+    gf256::force_kernel(gf256::Kernel::kScalar);
+    const auto oracle = rs.encode(value);
+    for (gf256::Kernel k : gf256::supported_kernels()) {
+      gf256::force_kernel(k);
+      const auto frags = rs.encode(value);
+      EXPECT_EQ(frags, oracle) << gf256::to_string(k) << " size=" << size;
+      std::vector<IndexedFragment> input;
+      for (int i = 5; i < 9; ++i) input.push_back({i, &frags[i]});
+      EXPECT_EQ(rs.decode(input, size), value)
+          << gf256::to_string(k) << " size=" << size;
+    }
+  }
 }
 
 TEST(ReedSolomonTest, RegenerateSingleFragment) {
