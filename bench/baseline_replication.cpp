@@ -83,6 +83,7 @@ int main(int argc, char** argv) {
       "for replication. EC survives 8 simultaneous fragment losses;\n"
       "replication survives 2.\n");
 
-  bench::write_columns_json(out, "baseline_replication", seeds, columns);
+  bench::write_columns_json(out, "baseline_replication", seeds, jobs,
+                            columns);
   return 0;
 }

@@ -11,9 +11,22 @@
 #include <vector>
 
 #include "core/harness.h"
+#include "erasure/gf256.h"
 #include "obs/json.h"
+#include "obs/prof.h"
+
+// Stamped by the build (bench/CMakeLists.txt, `git rev-parse`); "unknown"
+// outside a git checkout or when git is unavailable.
+#ifndef PAHOEHOE_GIT_SHA
+#define PAHOEHOE_GIT_SHA "unknown"
+#endif
 
 namespace pahoehoe::bench {
+
+/// Version of the common BENCH_*.json shape (the `meta` block and the
+/// sections bench/trendcheck gates on). Bump on breaking layout changes so
+/// stale baselines fail loudly instead of comparing garbage.
+inline constexpr int64_t kBenchSchemaVersion = 1;
 
 struct Column {
   std::string label;
@@ -153,19 +166,101 @@ inline void json_column(obs::JsonWriter& w, const Column& col) {
   w.end_object();
 }
 
-/// The standard bench document: {"bench", "seeds", "columns": […]}.
+/// The common provenance block every BENCH_*.json carries (satellite of the
+/// profiling PR): schema version, git sha of the build, the --jobs the tool
+/// ran with, and the GF(2^8) kernel that was active. One helper so the
+/// emitters can't drift apart; validated by each tool's --selfcheck via
+/// check_meta().
+inline void json_meta(obs::JsonWriter& w, int jobs) {
+  w.key("meta");
+  w.begin_object();
+  w.kv("schema_version", kBenchSchemaVersion);
+  w.kv("git_sha", PAHOEHOE_GIT_SHA);
+  w.kv("jobs", static_cast<int64_t>(jobs));
+  w.kv("kernel", gf256::to_string(gf256::active_kernel()));
+  w.end_object();
+}
+
+/// Validate a parsed bench document's meta block: present, schema version
+/// current, kernel a known name, jobs >= 1, git_sha non-empty. On failure
+/// fills `error` (value-bearing) and returns false.
+inline bool check_meta(const obs::JsonValue& doc, std::string* error) {
+  const obs::JsonValue* meta = doc.find("meta");
+  if (meta == nullptr || !meta->is_object()) {
+    *error = "meta block missing";
+    return false;
+  }
+  const obs::JsonValue* version = meta->find("schema_version");
+  if (version == nullptr || !version->is_number() ||
+      static_cast<int64_t>(version->number) != kBenchSchemaVersion) {
+    *error = "meta.schema_version must be " +
+             std::to_string(kBenchSchemaVersion) + ", got " +
+             (version != nullptr && version->is_number()
+                  ? std::to_string(static_cast<int64_t>(version->number))
+                  : std::string("(absent)"));
+    return false;
+  }
+  const obs::JsonValue* sha = meta->find("git_sha");
+  if (sha == nullptr || !sha->is_string() || sha->string.empty()) {
+    *error = "meta.git_sha missing or empty";
+    return false;
+  }
+  const obs::JsonValue* jobs = meta->find("jobs");
+  if (jobs == nullptr || !jobs->is_number() || jobs->number < 1) {
+    *error = "meta.jobs must be >= 1, got " +
+             (jobs != nullptr && jobs->is_number()
+                  ? std::to_string(jobs->number)
+                  : std::string("(absent)"));
+    return false;
+  }
+  const obs::JsonValue* kernel = meta->find("kernel");
+  if (kernel == nullptr || !kernel->is_string() ||
+      !gf256::parse_kernel(kernel->string).has_value()) {
+    *error = "meta.kernel must name a GF(2^8) kernel, got " +
+             (kernel != nullptr && kernel->is_string()
+                  ? "'" + kernel->string + "'"
+                  : std::string("(absent)"));
+    return false;
+  }
+  return true;
+}
+
+/// The run's wall-clock phase table as a JSON array (empty when profiling
+/// was off). Values are host-dependent by nature — downstream tooling may
+/// chart them but must never diff them byte-for-byte (DESIGN.md §11).
+inline void json_profile(obs::JsonWriter& w, const obs::ProfReport& report) {
+  w.key("profile");
+  w.begin_array();
+  for (const obs::ProfPhase& p : report.phases) {
+    w.begin_object();
+    w.kv("name", p.name);
+    if (!p.parent.empty()) w.kv("parent", p.parent);
+    w.kv("calls", p.calls);
+    w.kv("total_ms", static_cast<double>(p.total_nanos) / 1e6);
+    w.kv("self_ms", static_cast<double>(p.self_nanos) / 1e6);
+    w.end_object();
+  }
+  w.end_array();
+}
+
+/// The standard bench document:
+/// {"bench", "meta", "seeds", "columns": […], "profile": […]}.
 /// Returns false (after a stderr note) on I/O failure.
 inline bool write_columns_json(const std::string& path,
                                const std::string& bench_name, int seeds,
-                               const std::vector<Column>& columns) {
+                               int jobs,
+                               const std::vector<Column>& columns,
+                               const obs::ProfReport& profile = {}) {
   obs::JsonWriter w;
   w.begin_object();
   w.kv("bench", bench_name);
+  json_meta(w, jobs);
   w.kv("seeds", seeds);
   w.key("columns");
   w.begin_array();
   for (const Column& col : columns) json_column(w, col);
   w.end_array();
+  json_profile(w, profile);
   w.end_object();
   if (!w.write_file(path)) return false;
   std::printf("\nwrote %s\n", path.c_str());

@@ -47,10 +47,11 @@ struct Point {
 double ms(double seconds) { return seconds * 1e3; }
 
 void write_json(const std::string& path, const std::vector<Point>& points,
-                int seeds, double duration_s, bool poisson) {
+                int seeds, int jobs, double duration_s, bool poisson) {
   obs::JsonWriter w;
   w.begin_object();
   w.kv("bench", "capacity_planning");
+  bench::json_meta(w, jobs);
   w.kv("arrivals", poisson ? "poisson" : "fixed");
   w.kv("seeds", seeds);
   w.kv("duration_s", duration_s);
@@ -136,7 +137,7 @@ int run(int argc, char** argv) {
     }
   }
 
-  write_json(out, points, seeds, duration_s, poisson);
+  write_json(out, points, seeds, jobs, duration_s, poisson);
   return 0;
 }
 

@@ -44,8 +44,16 @@ bool selfcheck(const std::string& path, size_t min_variants) {
   };
   const std::optional<obs::JsonValue> doc = obs::json_parse_file(path);
   if (!doc.has_value()) return fail("unreadable or invalid JSON");
-  for (const char* key : {"bench", "seeds", "sample_interval_s", "variants"}) {
+  for (const char* key :
+       {"bench", "seeds", "puts", "object_kib", "sample_interval_s",
+        "variants"}) {
     if (doc->find(key) == nullptr) return fail("missing top-level key");
+  }
+  std::string meta_error;
+  if (!bench::check_meta(*doc, &meta_error)) return fail(meta_error.c_str());
+  const obs::JsonValue* profile = doc->find("profile");
+  if (profile == nullptr || !profile->is_array()) {
+    return fail("profile array missing");
   }
   const obs::JsonValue* variants = doc->find("variants");
   if (!variants->is_array() || variants->array.size() < min_variants) {
@@ -168,6 +176,11 @@ int run(int argc, char** argv) {
   std::printf("%-10s %10s %10s %10s %10s %10s %8s\n", "variant", "acked",
               "p50 (s)", "p95 (s)", "p99 (s)", "max (s)", "samples");
 
+  // Profile the measured runs; the merged per-seed phase tables land in the
+  // JSON's profile section. Pure side channel — the simulated results are
+  // byte-identical with this off (DESIGN.md §11, prof_test).
+  obs::prof::set_enabled(true);
+  obs::ProfReport profile;
   std::vector<Variant> variants;
   for (const Preset& preset : presets) {
     config.convergence = preset.conv;
@@ -188,14 +201,18 @@ int run(int argc, char** argv) {
     }
     std::printf("\n");
     std::fflush(stdout);
+    profile.merge(v.agg.profile);
     variants.push_back(std::move(v));
   }
+  obs::prof::set_enabled(false);
 
   obs::JsonWriter w;
   w.begin_object();
   w.kv("bench", "convergence_telemetry");
+  bench::json_meta(w, jobs);
   w.kv("seeds", seeds);
   w.kv("puts", puts);
+  w.kv("object_kib", object_kib);
   w.kv("sample_interval_s", sample_interval_s);
   w.key("variants");
   w.begin_array();
@@ -253,6 +270,7 @@ int run(int argc, char** argv) {
     w.end_object();
   }
   w.end_array();
+  bench::json_profile(w, profile);
   w.end_object();
   if (!w.write_file(out)) return 1;
   std::printf("\nwrote %s\n", out.c_str());

@@ -166,7 +166,7 @@ int run(int argc, char** argv) {
     bench::print_ratios(ab, Metric::kCount, 0);
   }
 
-  bench::write_columns_json(out, "fig5_failure_free", seeds, columns);
+  bench::write_columns_json(out, "fig5_failure_free", seeds, jobs, columns);
   return 0;
 }
 

@@ -45,6 +45,7 @@ int main(int argc, char** argv) {
                 col.agg.msg_count.ci95_halfwidth() / 1e3);
   }
 
-  bench::write_columns_json(out, "fig6_fs_failures_msgs", seeds, columns);
+  bench::write_columns_json(out, "fig6_fs_failures_msgs", seeds, jobs,
+                            columns);
   return 0;
 }

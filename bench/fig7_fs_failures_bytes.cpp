@@ -44,6 +44,7 @@ int main(int argc, char** argv) {
                 col.agg.msg_bytes.ci95_halfwidth() / (1024.0 * 1024.0));
   }
 
-  bench::write_columns_json(out, "fig7_fs_failures_bytes", seeds, columns);
+  bench::write_columns_json(out, "fig7_fs_failures_bytes", seeds, jobs,
+                            columns);
   return 0;
 }

@@ -46,6 +46,7 @@ int main(int argc, char** argv) {
                 col.agg.wan_bytes.mean() / (1024.0 * 1024.0));
   }
 
-  bench::write_columns_json(out, "fig8_kls_failures_bytes", seeds, columns);
+  bench::write_columns_json(out, "fig8_kls_failures_bytes", seeds, jobs,
+                            columns);
   return 0;
 }

@@ -68,6 +68,6 @@ int main(int argc, char** argv) {
       "version eventually reaches AMR (the eventual-consistency "
       "guarantee).\n");
 
-  bench::write_columns_json(out, "fig9_lossy_network", seeds, columns);
+  bench::write_columns_json(out, "fig9_lossy_network", seeds, jobs, columns);
   return 0;
 }

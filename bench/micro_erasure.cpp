@@ -22,12 +22,14 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/flags.h"
 #include "common/rng.h"
 #include "common/sha256.h"
 #include "erasure/gf256.h"
 #include "erasure/reed_solomon.h"
 #include "obs/json.h"
+#include "obs/prof.h"
 
 namespace pahoehoe {
 namespace {
@@ -189,6 +191,12 @@ bool selfcheck_json(const std::string& path, size_t expected_kernels) {
   if (bench == nullptr || !bench->is_string() || bench->string != "erasure") {
     return fail("missing bench == \"erasure\"");
   }
+  std::string meta_error;
+  if (!bench::check_meta(*doc, &meta_error)) return fail(meta_error.c_str());
+  const obs::JsonValue* profile = doc->find("profile");
+  if (profile == nullptr || !profile->is_array()) {
+    return fail("profile array missing");
+  }
   const obs::JsonValue* active = doc->find("active_default");
   if (active == nullptr || !active->is_string()) {
     return fail("missing active_default kernel name");
@@ -278,6 +286,12 @@ int run_json_mode(int argc, char** argv) {
   }
 
   const gf256::Kernel default_kernel = gf256::active_kernel();
+  // Profile the measurement run itself: the per-kernel rs_encode/rs_decode
+  // phases land in the emitted profile section. Scope entry costs ~25 ns
+  // against ops tens of microseconds long, so throughput is unaffected at
+  // the tolerance scale trendcheck gates on.
+  obs::prof::set_enabled(true);
+  const obs::prof::Snapshot prof_begin = obs::prof::capture_begin();
   std::vector<CaseResult> cases;
   for (const Case& c : kCases) {
     CaseResult cr;
@@ -329,6 +343,8 @@ int run_json_mode(int argc, char** argv) {
   }
   // Back to the dispatcher's own choice (env override or auto).
   gf256::reset_kernel();
+  const obs::ProfReport profile = obs::prof::capture_delta(prof_begin);
+  obs::prof::set_enabled(false);
 
   std::printf("%-18s %-8s %12s %12s %12s\n", "case", "kernel", "encode MB/s",
               "decode MB/s", "mul_acc MB/s");
@@ -348,6 +364,7 @@ int run_json_mode(int argc, char** argv) {
   obs::JsonWriter w;
   w.begin_object();
   w.kv("bench", "erasure");
+  bench::json_meta(w, /*jobs=*/1);  // measurement is single-threaded
   w.kv("active_default", gf256::to_string(default_kernel));
   w.kv("target_ms", target_ms);
   w.key("kernels");
@@ -382,6 +399,7 @@ int run_json_mode(int argc, char** argv) {
     w.end_object();
   }
   w.end_array();
+  bench::json_profile(w, profile);
   w.end_object();
   if (!w.write_file(out)) return 1;
   std::printf("wrote %s\n", out.c_str());

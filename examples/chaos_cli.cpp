@@ -11,6 +11,7 @@
 //   ./build/examples/chaos_cli --search --search-rounds=10 --jobs=8
 //   ./build/examples/chaos_cli --search --corpus-out=corpus.bin
 //   ./build/examples/chaos_cli --search --corpus-in=corpus.bin
+//   ./build/examples/chaos_cli --seeds=20 --profile --profile-top=8
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -18,6 +19,7 @@
 #include "chaos/search.h"
 #include "chaos/sweep.h"
 #include "common/flags.h"
+#include "obs/prof.h"
 
 using namespace pahoehoe;
 
@@ -71,6 +73,13 @@ int run_search_mode(core::RunConfig config, chaos::SearchOptions options,
                 corpus_out.c_str());
   }
   return result.exit_code();
+}
+
+/// The hottest phases by wall time, over everything this process ran
+/// (worker threads flush on join, so the table is complete here).
+void print_profile(size_t top) {
+  std::printf("\nwall-clock profile (host time; hottest %zu phases):\n%s",
+              top, obs::prof::global_report().to_text(top).c_str());
 }
 
 }  // namespace
@@ -138,7 +147,21 @@ int main(int argc, char** argv) {
   if (!scrub) config.convergence.scrub_interval = 0;
   config.workload.num_puts = static_cast<int>(
       flags.get_int("puts", config.workload.num_puts, "objects to store"));
+
+  // Wall-clock phase profiling (DESIGN.md §11): a pure side channel, so
+  // sweep/search results are byte-identical with it on or off.
+  const bool profile = flags.get_bool(
+      "profile", false,
+      "print the hottest wall-clock phases after the run");
+  const int64_t profile_top = flags.get_int(
+      "profile-top", 12, "phases to print with --profile (hottest first)");
   flags.finish();
+  if (profile_top < 1) {
+    std::fprintf(stderr, "flag error: --profile-top must be >= 1, got %lld\n",
+                 static_cast<long long>(profile_top));
+    return 2;
+  }
+  obs::prof::set_enabled(profile);
 
   if (search) {
     search_options.base_seed = sweep.base_seed;
@@ -148,8 +171,10 @@ int main(int argc, char** argv) {
     search_options.shrink = sweep.shrink;
     search_options.trace_capacity = sweep.trace_capacity;
     search_options.trace_dump_lines = sweep.trace_dump_lines;
-    return run_search_mode(config, std::move(search_options), corpus_in,
-                           corpus_out);
+    const int rc = run_search_mode(config, std::move(search_options),
+                                   corpus_in, corpus_out);
+    if (profile) print_profile(static_cast<size_t>(profile_top));
+    return rc;
   }
 
   // The hook fires in completion order, which is scheduler-dependent when
@@ -182,6 +207,7 @@ int main(int argc, char** argv) {
 
   chaos::SweepResult result = chaos::run_sweep(config, sweep);
   std::printf("\n%s", result.summary().c_str());
+  if (profile) print_profile(static_cast<size_t>(profile_top));
   // exit_code() is non-zero for ANY violation, telemetry-drift-only runs
   // included (regression-tested in chaos_test).
   return result.exit_code();

@@ -17,6 +17,7 @@
 #include "common/flags.h"
 #include "core/harness.h"
 #include "obs/json.h"
+#include "obs/prof.h"
 
 using namespace pahoehoe;
 
@@ -62,8 +63,14 @@ int main(int argc, char** argv) {
       "JSON file");
   config.telemetry.max_spans_per_version = static_cast<size_t>(flags.get_int(
       "max-spans", 8192, "spans kept per version before truncation"));
+  const bool profile = flags.get_bool(
+      "profile", false,
+      "wall-clock phase profile: print the hottest phases and add a "
+      "host-time track to --perfetto output (side channel; simulated "
+      "results are unchanged)");
   flags.finish();
 
+  obs::prof::set_enabled(profile);
   config.telemetry.spans = true;
   if (blackout_s > 0) {
     config.faults.push_back(core::FaultSpec::fs_blackout(
@@ -99,10 +106,15 @@ int main(int argc, char** argv) {
     std::fputs("\n", stdout);
   }
   std::printf("%s", result.critical_path.to_text().c_str());
+  if (profile) {
+    std::printf("\nwall-clock profile (host time; hottest phases):\n%s",
+                result.profile.to_text(12).c_str());
+  }
 
   if (!perfetto_path.empty()) {
     obs::JsonWriter w;
-    result.spans.export_perfetto(w, selected);
+    result.spans.export_perfetto(w, selected,
+                                 profile ? &result.profile : nullptr);
     w.write_file(perfetto_path);
     std::printf("\nwrote %zu-version Perfetto trace to %s "
                 "(open at https://ui.perfetto.dev)\n",

@@ -3,6 +3,8 @@
 #include <bit>
 #include <cstring>
 
+#include "obs/prof.h"
+
 namespace pahoehoe::chaos {
 
 namespace {
@@ -75,15 +77,18 @@ std::vector<std::string> Coverage::names() const {
 
 Coverage extract_coverage(const core::RunResult& run,
                           const core::RunConfig& config) {
+  obs::ProfScope prof("chaos_coverage");
   Coverage coverage;
 
   // --- span features: which span kinds fired, per role, with buckets -------
   // Tally first (visit order is deterministic but we want one feature per
   // (role, kind), not per span). Recovery spans carry their mode ("plain" /
-  // "sibling") and give-ups their durability class in the note; those notes
-  // are part of the state, unlike free-form ones ("attempt 3").
+  // "sibling"), give-ups and scrub re-adds their durability class in the
+  // note; those notes are part of the state, unlike free-form ones
+  // ("attempt 3").
   std::map<std::string, uint64_t> span_counts;
   bool scrub_past_giveup = false;
+  bool durable_scrub_late = false;
   run.spans.visit_spans([&](const ObjectVersionId& ov,
                             const obs::Span& span) {
     std::string kind = span.name;
@@ -92,9 +97,21 @@ Coverage extract_coverage(const core::RunResult& run,
     }
     ++span_counts["span:" + std::string(role_of(config.topology, span.node)) +
                   ":" + kind];
-    if (span.name == "scrub_readd" &&
-        span.start - ov.ts.wall_micros > config.convergence.giveup_age) {
-      scrub_past_giveup = true;
+    if (span.name == "scrub_readd") {
+      // Judge the re-add against *its class's* horizon (the span note
+      // carries the class, mirroring give_up): a durable-class repair past
+      // the base give-up age is the legal state giveup_age_durable exists
+      // for, not a horizon violation.
+      const bool durable = span.note == "class=durable";
+      const SimTime age = span.start - ov.ts.wall_micros;
+      const SimTime class_horizon =
+          durable && config.convergence.giveup_age_durable >= 0
+              ? config.convergence.giveup_age_durable
+              : config.convergence.giveup_age;
+      if (age > class_horizon) scrub_past_giveup = true;
+      if (durable && age > config.convergence.giveup_age) {
+        durable_scrub_late = true;
+      }
     }
   });
   for (const auto& [stem, count] : span_counts) {
@@ -149,6 +166,7 @@ Coverage extract_coverage(const core::RunResult& run,
     add(coverage, kFeatureSiblingRecovery);
   }
   if (scrub_past_giveup) add(coverage, kFeatureScrubPastGiveup);
+  if (durable_scrub_late) add(coverage, kFeatureDurableScrubLate);
 
   return coverage;
 }

@@ -18,7 +18,8 @@
 //     recoveries, scrub repairs, backoffs).
 //   * outcome features — audit violation kinds, quiescence, failed puts.
 //   * rare composite features the search is explicitly hunting
-//     (kFeatureCollision, kFeatureSiblingRecovery, kFeatureScrubPastGiveup).
+//     (kFeatureCollision, kFeatureSiblingRecovery, kFeatureDurableScrubLate,
+//     kFeatureScrubPastGiveup).
 //
 // Extraction is a pure function of the RunResult (plus the config for the
 // give-up horizon and node-role arithmetic): it walks spans in the tracer's
@@ -65,7 +66,18 @@ inline constexpr const char* kFeatureSiblingRecovery =
     "rare:sibling_recovery";  ///< a §4.2 sibling recovery attempt started
 inline constexpr const char* kFeatureScrubPastGiveup =
     "rare:scrub_past_giveup_window";  ///< scrub re-added a version already
-                                      ///< older than the give-up age
+                                      ///< older than *its own class's*
+                                      ///< give-up horizon (giveup_age_durable
+                                      ///< for the durable class) — scrub
+                                      ///< itself enforces that horizon, so
+                                      ///< reaching this means the horizon
+                                      ///< logic disagreed with itself
+inline constexpr const char* kFeatureDurableScrubLate =
+    "rare:durable_scrub_past_base_age";  ///< a durable-class scrub re-add
+                                         ///< past the *base* (non-durable)
+                                         ///< give-up age — the state the
+                                         ///< per-class horizons exist to
+                                         ///< make legal
 
 /// Extract the signature of one finished run. `config` must be the config
 /// the run executed under (topology for role mapping, convergence for the

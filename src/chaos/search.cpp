@@ -5,6 +5,7 @@
 
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "obs/prof.h"
 #include "wire/serde.h"
 
 namespace pahoehoe::chaos {
@@ -133,7 +134,8 @@ std::string SearchResult::summary() const {
   out += "rare features: ";
   bool any = false;
   for (const char* rare :
-       {kFeatureCollision, kFeatureSiblingRecovery, kFeatureScrubPastGiveup}) {
+       {kFeatureCollision, kFeatureSiblingRecovery, kFeatureDurableScrubLate,
+        kFeatureScrubPastGiveup}) {
     if (!coverage.contains(rare)) continue;
     if (any) out += ", ";
     out += rare;
@@ -263,6 +265,10 @@ SearchResult run_search(core::RunConfig config, const SearchOptions& options) {
   }
 
   for (int round = 0; round <= options.rounds; ++round) {
+    // One wall-clock phase per search round: breeding, the candidate runs
+    // (inline when jobs <= 1; workers account to their own threads
+    // otherwise), and the sequential merge.
+    obs::ProfScope prof_round("chaos_search_round");
     if (round > 0) {
       // Breed this round's candidates from the corpus as it stood after
       // the previous round — fully determined before any worker runs.

@@ -99,9 +99,13 @@ bool Flags::get_bool(const std::string& name, bool default_value,
 void Flags::finish() {
   bool unknown = false;
   for (const auto& [name, value] : raw_) {
-    (void)value;
     if (seen_.find(name) == seen_.end()) {
-      std::fprintf(stderr, "unknown flag: --%s\n", name.c_str());
+      if (value.empty()) {
+        std::fprintf(stderr, "unknown flag: --%s\n", name.c_str());
+      } else {
+        std::fprintf(stderr, "unknown flag: --%s (value '%s')\n",
+                     name.c_str(), value.c_str());
+      }
       unknown = true;
     }
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/sha256.h"
+#include "obs/prof.h"
 
 namespace pahoehoe::core {
 
@@ -243,6 +244,7 @@ void FragmentServer::ensure_round_scheduled() {
 }
 
 void FragmentServer::start_round() {
+  obs::ProfScope prof("fs_round");
   round_timer_ = 0;
   ++rounds_run_;
   m_rounds_->inc();
@@ -483,6 +485,7 @@ void FragmentServer::recovery_maybe_finish(const ObjectVersionId& ov,
   }
   const int k = meta->policy.k;
   if (static_cast<int>(work.gathered.size()) < k) return;
+  obs::ProfScope prof("fs_recovery");
 
   // Regenerate my missing fragments plus (sibling recovery) everything the
   // siblings reported missing.
@@ -884,6 +887,7 @@ void FragmentServer::schedule_scrub() {
 }
 
 size_t FragmentServer::scrub() {
+  obs::ProfScope prof("fs_scrub");
   size_t readded = 0;
   for (const ObjectVersionId& ov : store_frag_.all_versions()) {
     if (store_meta_.contains(ov)) continue;
@@ -905,8 +909,15 @@ size_t FragmentServer::scrub() {
     store_meta_.merge(ov, entry->meta);
     work_.try_emplace(ov);
     telemetry().spans.report_work(ov, id(), 0, false);
+    // The class note mirrors give_up's: coverage classifies a re-add as
+    // "past the give-up window" against the class's own horizon, so a
+    // durable-class repair of an arbitrarily old AMR version (the whole
+    // point of giveup_age_durable) is not flagged as an anomaly.
     telemetry().spans.interval(ov, "scrub_readd", id(), sim_.now(),
-                               sim_.now());
+                               sim_.now(),
+                               durable_class(ov, nullptr)
+                                   ? "class=durable"
+                                   : "class=non-durable");
     ++readded;
   }
   if (readded > 0) {

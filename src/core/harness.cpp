@@ -275,7 +275,8 @@ void install_fault(const FaultSpec& spec, Cluster& cluster,
 
 }  // namespace
 
-RunResult run_experiment(const RunConfig& config) {
+static RunResult run_experiment_impl(const RunConfig& config) {
+  obs::ProfScope prof_run("run_experiment");
   sim::Simulator sim(config.seed);
   net::Network net(sim, config.network);
   // Tracing must start before any traffic: the stats-vs-tracer
@@ -311,7 +312,10 @@ RunResult run_experiment(const RunConfig& config) {
         config.telemetry.max_samples);
   }
 
-  sim.run(config.max_sim_time);
+  {
+    obs::ProfScope prof_sim("sim_run");
+    sim.run(config.max_sim_time);
+  }
 
   RunResult result;
   result.stats = net.stats();
@@ -469,6 +473,18 @@ RunResult run_experiment(const RunConfig& config) {
   return result;
 }
 
+RunResult run_experiment(const RunConfig& config) {
+  // Wall-clock profile of this run = the calling thread's phase delta
+  // across the impl. Each seed executes entirely on one worker thread
+  // (parallel_for), so thread-local accounting captures the whole run.
+  // Side channel only: result.profile is excluded from every determinism
+  // digest (DESIGN.md §11).
+  const obs::prof::Snapshot prof_begin = obs::prof::capture_begin();
+  RunResult result = run_experiment_impl(config);
+  result.profile = obs::prof::capture_delta(prof_begin);
+  return result;
+}
+
 AggregateResult run_many(RunConfig config, int num_seeds, uint64_t base_seed,
                          int jobs) {
   // Every seed is a self-contained simulation (its own Simulator, Network,
@@ -518,6 +534,7 @@ AggregateResult run_many(RunConfig config, int num_seeds, uint64_t base_seed,
     agg.amr_confirmed.add(static_cast<double>(r.amr_confirmed));
     agg.amr_backlog_final.add(static_cast<double>(r.amr_backlog_final));
     agg.critical_path.merge(r.critical_path);
+    agg.profile.merge(r.profile);
   }
   return agg;
 }

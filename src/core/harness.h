@@ -13,6 +13,7 @@
 #include "core/config.h"
 #include "core/workload.h"
 #include "net/network.h"
+#include "obs/prof.h"
 #include "obs/sampler.h"
 #include "obs/telemetry.h"
 
@@ -205,6 +206,10 @@ struct RunResult {
   /// Forensics: span tree of the first audit violation that names a traced
   /// version (empty when the audit passed or spans were off).
   std::string span_forensics;
+  /// Host wall-clock phase breakdown of this run (empty unless
+  /// obs::prof profiling is enabled). Pure side channel — excluded from
+  /// every determinism digest (DESIGN.md §11).
+  obs::ProfReport profile;
 };
 
 /// Build a cluster, run the workload under the faults, drive the simulation
@@ -246,6 +251,9 @@ struct AggregateResult {
   /// Per-component critical-path aggregate merged in seed order —
   /// byte-identical to_text() for every jobs value.
   obs::CriticalPathAggregate critical_path;
+  /// Per-seed wall-clock profiles merged in seed order (empty unless
+  /// profiling was enabled). Side channel only — never digested.
+  obs::ProfReport profile;
 };
 
 /// Run `config` under seeds base_seed, base_seed+1, … and aggregate.

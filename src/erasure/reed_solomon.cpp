@@ -5,9 +5,30 @@
 
 #include "common/check.h"
 #include "erasure/gf256.h"
+#include "obs/prof.h"
 
 namespace pahoehoe::erasure {
 namespace {
+
+// Wall-clock phase ids carry the active kernel so a profile shows *which*
+// mul_acc implementation burned the time. The names are string literals
+// selected at scope entry (obs::ProfScope keeps only the pointer); lookup
+// runs only when profiling is enabled.
+struct KernelPhases {
+  const char* by_kernel[gf256::kKernelCount];
+};
+
+constexpr KernelPhases kEncodePhase = {
+    {"rs_encode[scalar]", "rs_encode[ssse3]", "rs_encode[avx2]"}};
+constexpr KernelPhases kDecodePhase = {
+    {"rs_decode[scalar]", "rs_decode[ssse3]", "rs_decode[avx2]"}};
+constexpr KernelPhases kRegeneratePhase = {
+    {"rs_regenerate[scalar]", "rs_regenerate[ssse3]", "rs_regenerate[avx2]"}};
+
+const char* kernel_phase(const KernelPhases& phases) {
+  if (!obs::prof::enabled()) return nullptr;
+  return phases.by_kernel[static_cast<int>(gf256::active_kernel())];
+}
 
 // Vandermonde-to-systematic transform: V (n×k) times inverse(top k×k of V)
 // leaves the top k rows as identity while preserving the property that any
@@ -56,6 +77,7 @@ size_t ReedSolomon::fragment_size(size_t value_size) const {
 }
 
 std::vector<Bytes> ReedSolomon::encode(const Bytes& value) const {
+  obs::ProfScope prof(kernel_phase(kEncodePhase));
   const size_t frag_size = fragment_size(value.size());
   std::vector<Bytes> fragments(static_cast<size_t>(n_));
 
@@ -116,6 +138,7 @@ std::vector<Bytes> ReedSolomon::recover_data_fragments(
 
 Bytes ReedSolomon::decode(const std::vector<IndexedFragment>& fragments,
                           size_t value_size) const {
+  obs::ProfScope prof(kernel_phase(kDecodePhase));
   const size_t frag_size = fragment_size(value_size);
   if (value_size == 0) return {};
   std::vector<Bytes> data_frags = recover_data_fragments(fragments, frag_size);
@@ -141,6 +164,7 @@ std::vector<Bytes> ReedSolomon::regenerate(
 std::vector<Bytes> ReedSolomon::regenerate_sized(
     const std::vector<IndexedFragment>& available,
     const std::vector<int>& target_indices, size_t frag_size) const {
+  obs::ProfScope prof(kernel_phase(kRegeneratePhase));
   if (frag_size == 0) {
     return std::vector<Bytes>(target_indices.size(), Bytes{});
   }

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "common/check.h"
+#include "obs/prof.h"
 
 namespace pahoehoe::net {
 
@@ -137,6 +138,7 @@ SimTime Network::sample_latency() {
 
 void Network::send(NodeId from, NodeId to, wire::MessageType type,
                    Bytes payload) {
+  obs::ProfScope prof("net_send");
   PAHOEHOE_CHECK_MSG(handlers_.count(to) > 0, "send to unregistered node");
   wire::Envelope env{from, to, type, std::move(payload)};
   env.span = telemetry_.spans.on_send(from, to, wire::to_string(type));
@@ -211,6 +213,9 @@ std::string Network::trace_consistency_report() const {
 }
 
 void Network::deliver(const wire::Envelope& env) {
+  // Covers the receiving node's handler too — "delivery" wall time is the
+  // cost of acting on the message, not just the queue pop.
+  obs::ProfScope prof("net_deliver");
   auto it = handlers_.find(env.to);
   PAHOEHOE_CHECK(it != handlers_.end());
   stats_.record_delivered(env.type);

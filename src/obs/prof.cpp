@@ -1,0 +1,256 @@
+#include "obs/prof.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <unordered_map>
+
+namespace pahoehoe::obs {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+inline uint64_t nanos_between(Clock::time_point a, Clock::time_point b) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+}
+
+// Accumulators are keyed by the (parent, name) literal pointers — no string
+// hashing on the hot path. Distinct literals with equal contents (possible
+// across translation units) are merged when rows are stringified.
+struct PhaseKey {
+  const char* parent;
+  const char* name;
+  bool operator==(const PhaseKey& o) const {
+    return parent == o.parent && name == o.name;
+  }
+};
+
+struct PhaseKeyHash {
+  size_t operator()(const PhaseKey& k) const {
+    auto mix = [](size_t h, size_t v) {
+      return (h ^ v) * 0x100000001b3ULL;  // FNV-style pointer mix
+    };
+    return mix(mix(0xcbf29ce484222325ULL,
+                   reinterpret_cast<size_t>(k.parent)),
+               reinterpret_cast<size_t>(k.name));
+  }
+};
+
+struct Accum {
+  uint64_t calls = 0;
+  uint64_t total_nanos = 0;
+  uint64_t self_nanos = 0;
+};
+
+struct Frame {
+  const char* name;
+  Clock::time_point start;
+  uint64_t child_nanos = 0;
+};
+
+using StringRows = std::map<std::pair<std::string, std::string>, ProfPhase>;
+
+// Phases from threads that have already exited. Leaked so that thread_local
+// destructors running late in shutdown can always reach it.
+struct Retired {
+  std::mutex mu;
+  StringRows rows;
+};
+
+Retired& retired() {
+  static Retired* r = new Retired;
+  return *r;
+}
+
+void add_row(StringRows& rows, const std::string& parent,
+             const std::string& name, uint64_t calls, uint64_t total,
+             uint64_t self) {
+  ProfPhase& p = rows[{parent, name}];
+  if (p.calls == 0 && p.total_nanos == 0 && p.self_nanos == 0) {
+    p.parent = parent;
+    p.name = name;
+  }
+  p.calls += calls;
+  p.total_nanos += total;
+  p.self_nanos += self;
+}
+
+struct ThreadTable {
+  std::unordered_map<PhaseKey, Accum, PhaseKeyHash> accum;
+  std::vector<Frame> stack;
+
+  StringRows rows() const {
+    StringRows out;
+    for (const auto& [key, a] : accum) {
+      add_row(out, key.parent, key.name, a.calls, a.total_nanos,
+              a.self_nanos);
+    }
+    return out;
+  }
+
+  ~ThreadTable() {
+    if (accum.empty()) return;
+    Retired& r = retired();
+    std::lock_guard<std::mutex> lock(r.mu);
+    for (const auto& [key, rest] : rows()) {
+      add_row(r.rows, key.first, key.second, rest.calls, rest.total_nanos,
+              rest.self_nanos);
+    }
+  }
+};
+
+ThreadTable& table() {
+  static thread_local ThreadTable t;
+  return t;
+}
+
+ProfReport rows_to_report(const StringRows& rows) {
+  ProfReport report;
+  report.phases.reserve(rows.size());
+  for (const auto& [key, phase] : rows) {
+    (void)key;
+    report.phases.push_back(phase);
+  }
+  return report;
+}
+
+}  // namespace
+
+void ProfReport::merge(const ProfReport& other) {
+  if (other.phases.empty()) return;
+  StringRows rows;
+  for (const ProfPhase& p : phases) {
+    add_row(rows, p.parent, p.name, p.calls, p.total_nanos, p.self_nanos);
+  }
+  for (const ProfPhase& p : other.phases) {
+    add_row(rows, p.parent, p.name, p.calls, p.total_nanos, p.self_nanos);
+  }
+  *this = rows_to_report(rows);
+}
+
+const ProfPhase* ProfReport::find(const std::string& parent,
+                                  const std::string& name) const {
+  for (const ProfPhase& p : phases) {
+    if (p.parent == parent && p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+uint64_t ProfReport::attributed_nanos() const {
+  uint64_t total = 0;
+  for (const ProfPhase& p : phases) total += p.self_nanos;
+  return total;
+}
+
+std::string ProfReport::to_text(size_t top_k) const {
+  std::vector<const ProfPhase*> by_total;
+  by_total.reserve(phases.size());
+  for (const ProfPhase& p : phases) by_total.push_back(&p);
+  std::sort(by_total.begin(), by_total.end(),
+            [](const ProfPhase* a, const ProfPhase* b) {
+              if (a->total_nanos != b->total_nanos)
+                return a->total_nanos > b->total_nanos;
+              if (a->parent != b->parent) return a->parent < b->parent;
+              return a->name < b->name;
+            });
+  if (top_k > 0 && by_total.size() > top_k) by_total.resize(top_k);
+
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-28s %-22s %10s %12s %12s\n", "phase",
+                "parent", "calls", "total_ms", "self_ms");
+  out += line;
+  for (const ProfPhase* p : by_total) {
+    std::snprintf(line, sizeof(line), "%-28s %-22s %10llu %12.3f %12.3f\n",
+                  p->name.c_str(), p->parent.empty() ? "-" : p->parent.c_str(),
+                  static_cast<unsigned long long>(p->calls),
+                  static_cast<double>(p->total_nanos) / 1e6,
+                  static_cast<double>(p->self_nanos) / 1e6);
+    out += line;
+  }
+  return out;
+}
+
+namespace prof {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_seq_cst);
+}
+
+Snapshot capture_begin() {
+  Snapshot snap;
+  if (enabled()) snap.rows = table().rows();
+  return snap;
+}
+
+ProfReport capture_delta(const Snapshot& begin) {
+  if (!enabled()) return {};
+  StringRows now = table().rows();
+  for (const auto& [key, phase] : begin.rows) {
+    auto it = now.find(key);
+    if (it == now.end()) continue;
+    it->second.calls -= phase.calls;
+    it->second.total_nanos -= phase.total_nanos;
+    it->second.self_nanos -= phase.self_nanos;
+    if (it->second.calls == 0 && it->second.total_nanos == 0) {
+      now.erase(it);
+    }
+  }
+  return rows_to_report(now);
+}
+
+ProfReport global_report() {
+  StringRows rows;
+  {
+    Retired& r = retired();
+    std::lock_guard<std::mutex> lock(r.mu);
+    rows = r.rows;
+  }
+  for (const auto& [key, phase] : table().rows()) {
+    add_row(rows, key.first, key.second, phase.calls, phase.total_nanos,
+            phase.self_nanos);
+  }
+  return rows_to_report(rows);
+}
+
+void reset() {
+  {
+    Retired& r = retired();
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.rows.clear();
+  }
+  ThreadTable& t = table();
+  t.accum.clear();
+}
+
+}  // namespace prof
+
+ProfScope::ProfScope(const char* name) {
+  if (name == nullptr || !prof::enabled()) return;
+  ThreadTable& t = table();
+  t.stack.push_back(Frame{name, Clock::now(), 0});
+  open_ = true;
+}
+
+ProfScope::~ProfScope() {
+  if (!open_) return;
+  const Clock::time_point end = Clock::now();
+  ThreadTable& t = table();
+  const Frame frame = t.stack.back();
+  t.stack.pop_back();
+  const uint64_t nanos = nanos_between(frame.start, end);
+  const char* parent = t.stack.empty() ? "" : t.stack.back().name;
+  if (!t.stack.empty()) t.stack.back().child_nanos += nanos;
+  Accum& a = t.accum[PhaseKey{parent, frame.name}];
+  a.calls += 1;
+  a.total_nanos += nanos;
+  a.self_nanos += nanos - std::min(nanos, frame.child_nanos);
+}
+
+}  // namespace pahoehoe::obs

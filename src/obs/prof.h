@@ -1,0 +1,114 @@
+// Hierarchical scoped wall-clock profiler.
+//
+// `ProfScope` measures host wall-clock time (std::chrono::steady_clock)
+// spent in a phase, attributing it to the innermost enclosing scope on the
+// same thread (parent/child nesting). Accumulators are strictly
+// thread-local; snapshots merge them in deterministic (parent, name) order.
+//
+// The profiler is a pure *side channel* (DESIGN.md §11): enabling it must
+// never change simulation results. `run_experiment` captures a per-run
+// delta into `RunResult::profile`, which is excluded from every
+// determinism digest — the same contract as the
+// `erasure_kernel_runs_total` counter. Phase ids must be string literals
+// (static storage duration): scopes keep only the pointer.
+//
+// Cost when disabled: one relaxed atomic load per ProfScope. When enabled:
+// two steady_clock reads plus one small hash-table update per scope, ~2%
+// on the densest simulation workloads (enforced by tests/prof_test.cpp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pahoehoe::obs {
+
+/// One (parent, name) phase row. `total_nanos` includes time spent in
+/// nested child scopes; `self_nanos` excludes it.
+struct ProfPhase {
+  std::string parent;  // "" for root scopes
+  std::string name;
+  uint64_t calls = 0;
+  uint64_t total_nanos = 0;
+  uint64_t self_nanos = 0;
+};
+
+/// Deterministically ordered phase table: sorted by (parent, name).
+/// Wall-clock *values* are host-dependent by nature; only the key order
+/// and the call counts of sim-driven phases are reproducible.
+struct ProfReport {
+  std::vector<ProfPhase> phases;
+
+  bool empty() const { return phases.empty(); }
+
+  /// Sum `other` into this report, keyed by (parent, name); keeps order.
+  void merge(const ProfReport& other);
+
+  /// Row lookup; nullptr when absent.
+  const ProfPhase* find(const std::string& parent,
+                        const std::string& name) const;
+
+  /// Sum of self_nanos over all rows == total wall time attributed.
+  uint64_t attributed_nanos() const;
+
+  /// Human-readable table of the hottest `top_k` phases by total time
+  /// (0 = all), for `chaos_cli --profile` and friends.
+  std::string to_text(size_t top_k = 0) const;
+};
+
+namespace prof {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+/// Cheap check, safe from any thread.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Toggle profiling globally. Scopes already open keep their state; only
+/// toggle while the process is quiescent for exact accounting.
+void set_enabled(bool on);
+
+/// Copy of the calling thread's accumulators, for delta accounting.
+/// Opaque except to capture_delta.
+struct Snapshot {
+  std::map<std::pair<std::string, std::string>, ProfPhase> rows;
+};
+
+/// Snapshot the calling thread's accumulators (empty when disabled).
+Snapshot capture_begin();
+
+/// Phases accumulated on the calling thread since `begin` was taken.
+ProfReport capture_delta(const Snapshot& begin);
+
+/// Everything accumulated process-wide: phases from threads that have
+/// exited (parallel_for workers flush on thread exit) plus the calling
+/// thread's own live table. Does not read other live threads' tables, so
+/// it is data-race-free; call it after worker threads have been joined
+/// for complete results.
+ProfReport global_report();
+
+/// Drop all accumulated phases (retired + calling thread). Test helper.
+void reset();
+
+}  // namespace prof
+
+/// RAII phase scope. `name` must be a string literal (or otherwise
+/// immortal); nullptr or profiling-disabled makes the scope inert.
+class ProfScope {
+ public:
+  explicit ProfScope(const char* name);
+  ~ProfScope();
+  ProfScope(const ProfScope&) = delete;
+  ProfScope& operator=(const ProfScope&) = delete;
+
+ private:
+  bool open_ = false;
+};
+
+}  // namespace pahoehoe::obs

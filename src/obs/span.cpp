@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <functional>
+#include <map>
 #include <set>
 
 #include "obs/json.h"
+#include "obs/prof.h"
 
 namespace pahoehoe::obs {
 
@@ -286,6 +289,7 @@ void SpanTracer::visit_spans(
 }
 
 std::string SpanTracer::render_tree(const ObjectVersionId& ov) const {
+  ProfScope prof("span_render");
   const VersionTrace* v = find(ov);
   if (v == nullptr) return {};
   std::string out = "version " + pahoehoe::to_string(ov) + " spans " +
@@ -337,8 +341,88 @@ std::string SpanTracer::render_tree(const ObjectVersionId& ov) const {
   return out;
 }
 
-void SpanTracer::export_perfetto(
-    JsonWriter& w, const std::vector<ObjectVersionId>& select) const {
+namespace {
+
+// One flame-style lane of host wall-clock phases in a synthetic process
+// (pid 0 — cluster node ids start at 101). Offsets are packed
+// deterministically: roots laid out end-to-end in report order, each
+// phase's children inside its extent. ts/dur are host *microseconds of
+// wall time*, so the track is a magnitude companion to the sim-time lanes,
+// not a shared clock.
+void export_wall_profile_track(JsonWriter& w, const ProfReport& profile) {
+  w.begin_object();
+  w.kv("name", "process_name").kv("ph", "M");
+  w.kv("pid", 0).kv("tid", 0);
+  w.key("args").begin_object();
+  w.kv("name", "wall-clock profile (host time)");
+  w.end_object();
+  w.end_object();
+
+  const std::vector<ProfPhase>& phases = profile.phases;
+  const size_t n = phases.size();
+  // A phase's parent field names another phase; attach it to the first row
+  // carrying that name (names can recur under several parents), everything
+  // else is a root.
+  std::map<std::string, size_t> first_with_name;
+  for (size_t i = 0; i < n; ++i) {
+    first_with_name.emplace(phases[i].name, i);
+  }
+  std::vector<std::vector<size_t>> children(n);
+  std::vector<size_t> roots;
+  for (size_t i = 0; i < n; ++i) {
+    auto it = phases[i].parent.empty()
+                  ? first_with_name.end()
+                  : first_with_name.find(phases[i].parent);
+    if (it == first_with_name.end() || it->second == i) {
+      roots.push_back(i);
+    } else {
+      children[it->second].push_back(i);
+    }
+  }
+  std::vector<uint64_t> start_nanos(n, 0);
+  std::vector<char> placed(n, 0);
+  const std::function<void(size_t)> place_children = [&](size_t i) {
+    uint64_t cursor = start_nanos[i];
+    for (size_t c : children[i]) {
+      if (placed[c]) continue;  // cycle guard; cannot happen in practice
+      placed[c] = 1;
+      start_nanos[c] = cursor;
+      cursor += phases[c].total_nanos;
+      place_children(c);
+    }
+  };
+  uint64_t root_cursor = 0;
+  for (size_t r : roots) {
+    if (placed[r]) continue;
+    placed[r] = 1;
+    start_nanos[r] = root_cursor;
+    root_cursor += phases[r].total_nanos;
+    place_children(r);
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    const ProfPhase& p = phases[i];
+    w.begin_object();
+    w.kv("name", p.name).kv("ph", "X");
+    w.kv("ts", start_nanos[i] / 1000);
+    w.kv("dur", p.total_nanos / 1000);
+    w.kv("pid", 0).kv("tid", 1);
+    w.key("args").begin_object();
+    if (!p.parent.empty()) w.kv("parent", p.parent);
+    w.kv("calls", p.calls);
+    w.kv("total_ms", static_cast<double>(p.total_nanos) / 1e6);
+    w.kv("self_ms", static_cast<double>(p.self_nanos) / 1e6);
+    w.end_object();
+    w.end_object();
+  }
+}
+
+}  // namespace
+
+void SpanTracer::export_perfetto(JsonWriter& w,
+                                 const std::vector<ObjectVersionId>& select,
+                                 const ProfReport* wall_profile) const {
+  ProfScope prof("span_render");
   std::vector<const VersionTrace*> selected;
   if (select.empty()) {
     for (const auto& [ov, vidx] : index_) selected.push_back(&versions_[vidx]);
@@ -384,6 +468,9 @@ void SpanTracer::export_perfetto(
       w.end_object();
       w.end_object();
     }
+  }
+  if (wall_profile != nullptr && !wall_profile->empty()) {
+    export_wall_profile_track(w, *wall_profile);
   }
   w.end_array();
   w.end_object();

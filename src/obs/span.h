@@ -41,6 +41,7 @@
 namespace pahoehoe::obs {
 
 class JsonWriter;
+struct ProfReport;
 
 /// One node in a version's causal tree. Ids are 1-based and local to the
 /// version; parent 0 marks the root.
@@ -163,8 +164,13 @@ class SpanTracer {
   /// process_name metadata per node and one "X" complete event per span
   /// (ts/dur in simulated micros, pid = node id value, tid = per-version
   /// lane). `select` empty exports every traced version.
+  /// `wall_profile`, when given, adds a synthetic "wall-clock profile"
+  /// process (pid 0) next to the sim-time lanes: one "X" event per profiled
+  /// phase, nested parent-inside-child flame-style, ts/dur in host
+  /// *microseconds of wall time* rather than sim time (obs/prof.h).
   void export_perfetto(JsonWriter& w,
-                       const std::vector<ObjectVersionId>& select = {}) const;
+                       const std::vector<ObjectVersionId>& select = {},
+                       const ProfReport* wall_profile = nullptr) const;
 
  private:
   struct NodeWork {
