@@ -147,6 +147,7 @@ constexpr Case kCases[] = {
 /// `bytes_per_iter` (decimal MB, matching google-benchmark's bytes/sec).
 template <typename Op>
 double measure_mb_s(int64_t target_ms, size_t bytes_per_iter, Op op) {
+  // lint:wallclock-ok(bench harness measures host throughput, not sim state)
   using Clock = std::chrono::steady_clock;
   const auto budget = std::chrono::milliseconds(target_ms);
   // Warm once (also faults in tables and the destination pages).

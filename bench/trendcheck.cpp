@@ -29,7 +29,7 @@
 //
 // Examples:
 //   ./build/bench/micro_erasure --selfcheck --target-ms=200
-//   ./build/bench/convergence_telemetry --puts=6 --seeds=2 --jobs=2 \
+//   ./build/bench/convergence_telemetry --puts=6 --seeds=2 --jobs=2
 //       --object-kib=8 --sample-interval-s=5 --selfcheck
 //   ./build/bench/trendcheck                       # gate both documents
 //   ./build/bench/trendcheck --write-baseline      # refresh baselines

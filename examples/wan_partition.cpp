@@ -73,10 +73,9 @@ int main(int argc, char** argv) {
               core::to_string(cluster.classify(r1.ov)));
 
   // Partition the data centers for 10 minutes.
-  std::unordered_set<NodeId> dc1;
-  for (const auto& [node, dc] : cluster.view()->dc_of_node) {
-    if (dc.value == 1) dc1.insert(node);
-  }
+  const std::vector<NodeId> dc1_nodes =
+      cluster.view()->nodes_in_dc(DataCenterId{1});
+  std::unordered_set<NodeId> dc1(dc1_nodes.begin(), dc1_nodes.end());
   const SimTime heal_at = sim.now() + 10LL * 60 * kMicrosPerSecond;
   net.add_fault(std::make_shared<net::Partition>(dc1, sim.now(), heal_at));
   std::printf("\nWAN partition begins (10 minutes)\n");

@@ -84,6 +84,7 @@ struct CorpusState {
     for (const auto& [hash, name] : entry.coverage.features) {
       const auto it = feature_counts.find(hash);
       if (it != feature_counts.end() && it->second > 0) {
+        // lint:float-ok(features is an ordered map, so the sum order is fixed)
         w += 1.0 / static_cast<double>(it->second);
       }
     }
@@ -92,10 +93,12 @@ struct CorpusState {
 
   const CorpusEntry& select_parent(Rng& rng) const {
     double total = 0.0;
+    // lint:float-ok(entries is a vector in admission order; sum order fixed)
     for (const CorpusEntry& e : entries) total += weight(e);
     if (total <= 0.0) return entries[0];
     double draw = rng.uniform01() * total;
     for (const CorpusEntry& e : entries) {
+      // lint:float-ok(same fixed admission order as the total above)
       draw -= weight(e);
       if (draw <= 0.0) return e;
     }

@@ -1,0 +1,31 @@
+#include "common/env.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace pahoehoe::env {
+
+std::optional<std::string> get(const char* name) {
+  // The one sanctioned getenv in the tree; see the header for the
+  // single-call-site rationale. No suppression annotation is needed (this
+  // module IS the nondet-env whitelist), and concurrency-mt-unsafe is
+  // argued above.
+  const char* value = std::getenv(name);  // NOLINT(concurrency-mt-unsafe)
+  if (value == nullptr) return std::nullopt;
+  return std::string(value);
+}
+
+std::optional<std::string> override_value(const char* name) {
+  std::optional<std::string> raw = get(name);
+  if (!raw.has_value()) return std::nullopt;
+  size_t b = 0;
+  size_t e = raw->size();
+  while (b < e && std::isspace(static_cast<unsigned char>((*raw)[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>((*raw)[e - 1]))) {
+    --e;
+  }
+  if (b == e) return std::nullopt;
+  return raw->substr(b, e - b);
+}
+
+}  // namespace pahoehoe::env

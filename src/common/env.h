@@ -1,0 +1,31 @@
+// The single sanctioned process-environment access point.
+//
+// Environment variables are host state: two runs with different
+// environments may legitimately behave differently (kernel override,
+// future tuning knobs), but that influence must be auditable. The lint
+// rule `nondet-env` (tools/lint, DESIGN.md §12) bans getenv everywhere
+// except this module, so "what can the environment change?" is answered by
+// grepping for pahoehoe::env callers rather than for libc calls.
+//
+// Note: clang-tidy's concurrency-mt-unsafe is right that getenv is unsafe
+// against a concurrent setenv. We never call setenv outside single-threaded
+// test setup, and overrides are read once at startup (e.g. the GF(2^8)
+// kernel choice is latched by a function-local static); keeping the one
+// call site here is what makes that argument checkable.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace pahoehoe::env {
+
+/// Raw lookup: nullopt when the variable is unset, the exact value
+/// otherwise (including the empty string).
+std::optional<std::string> get(const char* name);
+
+/// Override-style lookup, for opt-in knobs like PAHOEHOE_GF256_KERNEL:
+/// returns the value with surrounding whitespace trimmed, and treats
+/// unset, empty, and whitespace-only all as "no override" (nullopt).
+std::optional<std::string> override_value(const char* name);
+
+}  // namespace pahoehoe::env

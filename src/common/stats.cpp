@@ -16,6 +16,7 @@ void SampleStats::merge(const SampleStats& other) {
 double SampleStats::mean() const {
   if (values_.empty()) return 0.0;
   double sum = 0.0;
+  // lint:float-ok(values_ is insertion-ordered and merged in seed order)
   for (double v : values_) sum += v;
   return sum / static_cast<double>(values_.size());
 }
@@ -24,6 +25,7 @@ double SampleStats::stddev() const {
   if (values_.size() < 2) return 0.0;
   const double m = mean();
   double acc = 0.0;
+  // lint:float-ok(same fixed insertion/merge order as mean above)
   for (double v : values_) acc += (v - m) * (v - m);
   return std::sqrt(acc / static_cast<double>(values_.size() - 1));
 }

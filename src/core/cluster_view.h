@@ -5,6 +5,7 @@
 // for placement and for KLS probing order.
 #pragma once
 
+#include <algorithm>
 #include <unordered_map>
 #include <vector>
 
@@ -36,6 +37,20 @@ struct ClusterView {
   const std::vector<NodeId>& kls_in_dc(DataCenterId dc) const {
     PAHOEHOE_CHECK(dc.valid() && dc.value < kls_by_dc.size());
     return kls_by_dc[dc.value];
+  }
+
+  /// Every node (proxy, KLS, FS) placed in data center `dc`, sorted by id.
+  /// The one sanctioned walk of `dc_of_node`: callers that need "all of a
+  /// DC" (partition faults, WAN scenarios) take this deterministic view
+  /// instead of leaking hash order.
+  std::vector<NodeId> nodes_in_dc(DataCenterId dc) const {
+    std::vector<NodeId> out;
+    // lint:ordered-ok(filtered into a sorted vector before exposure)
+    for (const auto& [node, node_dc] : dc_of_node) {
+      if (node_dc == dc) out.push_back(node);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
   }
 };
 

@@ -226,12 +226,11 @@ void install_fault(const FaultSpec& spec, Cluster& cluster,
       break;
     }
     case FaultSpec::Kind::kDcPartition: {
-      std::unordered_set<NodeId> group;
-      for (const auto& [node, dc] : cluster.view()->dc_of_node) {
-        if (dc.value == spec.dc) group.insert(node);
-      }
-      net.add_fault(std::make_shared<net::Partition>(std::move(group),
-                                                     spec.start, spec.end));
+      const std::vector<NodeId> nodes = cluster.view()->nodes_in_dc(
+          DataCenterId{static_cast<uint8_t>(spec.dc)});
+      net.add_fault(std::make_shared<net::Partition>(
+          std::unordered_set<NodeId>(nodes.begin(), nodes.end()), spec.start,
+          spec.end));
       break;
     }
     case FaultSpec::Kind::kUniformLoss:

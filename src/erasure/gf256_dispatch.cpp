@@ -9,9 +9,9 @@
 // before a sweep / between measurement sections).
 #include <atomic>
 #include <cstdio>
-#include <cstdlib>
 
 #include "common/check.h"
+#include "common/env.h"
 #include "erasure/gf256.h"
 #include "erasure/gf256_kernels.h"
 
@@ -58,23 +58,25 @@ void install(Kernel k) {
 }
 
 Kernel default_kernel() {
-  const char* env = std::getenv("PAHOEHOE_GF256_KERNEL");
-  if (env == nullptr || *env == '\0' || std::string_view(env) == "auto") {
+  const std::optional<std::string> override =
+      env::override_value("PAHOEHOE_GF256_KERNEL");
+  if (!override.has_value() || *override == "auto") {
     return best_kernel();
   }
-  const std::optional<Kernel> requested = parse_kernel(env);
+  const std::optional<Kernel> requested = parse_kernel(*override);
   if (!requested.has_value()) {
     std::fprintf(stderr,
                  "pahoehoe: unknown PAHOEHOE_GF256_KERNEL=\"%s\" "
                  "(want scalar|ssse3|avx2|auto); using %s\n",
-                 env, to_string(best_kernel()));
+                 override->c_str(), to_string(best_kernel()));
     return best_kernel();
   }
   if (!kernel_supported(*requested)) {
     std::fprintf(stderr,
                  "pahoehoe: PAHOEHOE_GF256_KERNEL=%s is not %s on this host; "
                  "using %s\n",
-                 env, kernel_compiled(*requested) ? "supported" : "compiled in",
+                 override->c_str(),
+                 kernel_compiled(*requested) ? "supported" : "compiled in",
                  to_string(best_kernel()));
     return best_kernel();
   }

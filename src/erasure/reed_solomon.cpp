@@ -77,6 +77,7 @@ size_t ReedSolomon::fragment_size(size_t value_size) const {
 }
 
 std::vector<Bytes> ReedSolomon::encode(const Bytes& value) const {
+  // lint:prof-ok(kernel_phase returns a pointer into a static name table)
   obs::ProfScope prof(kernel_phase(kEncodePhase));
   const size_t frag_size = fragment_size(value.size());
   std::vector<Bytes> fragments(static_cast<size_t>(n_));
@@ -138,6 +139,7 @@ std::vector<Bytes> ReedSolomon::recover_data_fragments(
 
 Bytes ReedSolomon::decode(const std::vector<IndexedFragment>& fragments,
                           size_t value_size) const {
+  // lint:prof-ok(kernel_phase returns a pointer into a static name table)
   obs::ProfScope prof(kernel_phase(kDecodePhase));
   const size_t frag_size = fragment_size(value_size);
   if (value_size == 0) return {};
@@ -164,6 +166,7 @@ std::vector<Bytes> ReedSolomon::regenerate(
 std::vector<Bytes> ReedSolomon::regenerate_sized(
     const std::vector<IndexedFragment>& available,
     const std::vector<int>& target_indices, size_t frag_size) const {
+  // lint:prof-ok(kernel_phase returns a pointer into a static name table)
   obs::ProfScope prof(kernel_phase(kRegeneratePhase));
   if (frag_size == 0) {
     return std::vector<Bytes>(target_indices.size(), Bytes{});

@@ -71,6 +71,7 @@ class Histogram {
 
   void observe(double x) {
     sketch_.add(x);
+    // lint:float-ok(observes arrive in sim-event order; merges in seed order)
     sum_ += x;
   }
   uint64_t count() const { return sketch_.count(); }

@@ -83,6 +83,7 @@ struct ThreadTable {
 
   StringRows rows() const {
     StringRows out;
+    // lint:ordered-ok(rows land in a string-keyed std::map and re-sort)
     for (const auto& [key, a] : accum) {
       add_row(out, key.parent, key.name, a.calls, a.total_nanos,
               a.self_nanos);

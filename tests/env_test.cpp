@@ -1,0 +1,63 @@
+// pahoehoe::env — the single sanctioned environment-access module (lint
+// rule nondet-env). setenv/unsetenv here run before any reader thread
+// exists, so the getenv-vs-setenv race concurrency-mt-unsafe worries about
+// cannot occur in this process.
+#include "common/env.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace pahoehoe {
+namespace {
+
+constexpr const char* kVar = "PAHOEHOE_ENV_TEST_VAR";
+
+class EnvTest : public ::testing::Test {
+ protected:
+  void TearDown() override { ::unsetenv(kVar); }
+  void set(const char* value) { ::setenv(kVar, value, /*overwrite=*/1); }
+};
+
+TEST_F(EnvTest, UnsetIsNullopt) {
+  ::unsetenv(kVar);
+  EXPECT_FALSE(env::get(kVar).has_value());
+  EXPECT_FALSE(env::override_value(kVar).has_value());
+}
+
+TEST_F(EnvTest, GetReturnsExactValue) {
+  set("scalar");
+  ASSERT_TRUE(env::get(kVar).has_value());
+  EXPECT_EQ(*env::get(kVar), "scalar");
+  set("  spaced  ");
+  EXPECT_EQ(*env::get(kVar), "  spaced  ");  // raw lookup does not trim
+}
+
+TEST_F(EnvTest, GetDistinguishesEmptyFromUnset) {
+  set("");
+  ASSERT_TRUE(env::get(kVar).has_value());
+  EXPECT_EQ(*env::get(kVar), "");
+}
+
+TEST_F(EnvTest, OverrideTreatsEmptyAsNoOverride) {
+  set("");
+  EXPECT_FALSE(env::override_value(kVar).has_value());
+  set("   \t ");
+  EXPECT_FALSE(env::override_value(kVar).has_value());
+}
+
+TEST_F(EnvTest, OverrideTrimsWhitespace) {
+  set(" avx2 ");
+  ASSERT_TRUE(env::override_value(kVar).has_value());
+  EXPECT_EQ(*env::override_value(kVar), "avx2");
+  set("\tssse3\n");
+  EXPECT_EQ(*env::override_value(kVar), "ssse3");
+}
+
+TEST_F(EnvTest, OverridePassesInteriorContentThrough) {
+  set("not a kernel");  // parsing/validation is the caller's job
+  EXPECT_EQ(*env::override_value(kVar), "not a kernel");
+}
+
+}  // namespace
+}  // namespace pahoehoe

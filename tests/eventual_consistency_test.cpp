@@ -194,10 +194,9 @@ TEST(EventualConsistencyTest, ConvergedStateServesReadsFromEitherDcAlone) {
   tc.run_to_quiescence();
 
   // Partition the data centers; proxy 0 is in DC 0, proxy 1 in DC 1.
-  std::unordered_set<NodeId> group;
-  for (const auto& [node, dc] : tc.cluster.view()->dc_of_node) {
-    if (dc.value == 1) group.insert(node);
-  }
+  const std::vector<NodeId> dc1 =
+      tc.cluster.view()->nodes_in_dc(DataCenterId{1});
+  std::unordered_set<NodeId> group(dc1.begin(), dc1.end());
   tc.net.add_fault(std::make_shared<net::Partition>(
       group, tc.sim.now(), tc.sim.now() + minutes(30)));
 

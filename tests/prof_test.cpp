@@ -73,7 +73,7 @@ core::RunConfig small_config() {
 // Burn a little real time so scope totals are reliably non-zero.
 void spin() {
   volatile uint64_t sink = 0;
-  for (uint64_t i = 0; i < 20000; ++i) sink += i;
+  for (uint64_t i = 0; i < 20000; ++i) sink = sink + i;
 }
 
 TEST(Prof, NestedScopesAttributeParentAndSelfTime) {
@@ -214,6 +214,7 @@ TEST(Prof, OverheadSmokeAtMostTwoPercent) {
   // workload time, not the minimum scope cost).
   ProfGuard guard;
   obs::prof::set_enabled(true);
+  // lint:wallclock-ok(this test measures the profiler's own host-time cost)
   using Clock = std::chrono::steady_clock;
 
   // Per-scope cost: min over several tight batches.

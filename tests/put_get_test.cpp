@@ -134,10 +134,9 @@ TEST(PutTest, SucceedsDespiteOneKlsPerDcDown) {
 TEST(PutTest, WanPartitionStoresLocalFragmentsOnly) {
   SimCluster tc;
   // Isolate DC 1 entirely (proxy lives in DC 0).
-  std::unordered_set<NodeId> group;
-  for (const auto& [node, dc] : tc.cluster.view()->dc_of_node) {
-    if (dc.value == 1) group.insert(node);
-  }
+  const std::vector<NodeId> dc1 =
+      tc.cluster.view()->nodes_in_dc(DataCenterId{1});
+  std::unordered_set<NodeId> group(dc1.begin(), dc1.end());
   tc.net.add_fault(
       std::make_shared<net::Partition>(group, 0, minutes(60)));
   const auto result = tc.put(Key{"k"}, tc.make_value(4096));
@@ -206,10 +205,9 @@ TEST(GetTest, SucceedsWithOnlyDataDcAlive) {
   const Bytes value = tc.make_value(9999);
   tc.put(Key{"k"}, value);
   // Isolate DC 1; DC 0 holds the 4 data fragments + 2 parity.
-  std::unordered_set<NodeId> group;
-  for (const auto& [node, dc] : tc.cluster.view()->dc_of_node) {
-    if (dc.value == 1) group.insert(node);
-  }
+  const std::vector<NodeId> dc1 =
+      tc.cluster.view()->nodes_in_dc(DataCenterId{1});
+  std::unordered_set<NodeId> group(dc1.begin(), dc1.end());
   tc.net.add_fault(std::make_shared<net::Partition>(group, 0, minutes(60)));
   const auto got = tc.get(Key{"k"});
   EXPECT_TRUE(got.success);

@@ -178,7 +178,9 @@ TEST(SamplerTest, SamplesOnTheTickGridAndStopsWhenQueueDrains) {
   ASSERT_EQ(rows.size(), 5u);
   for (size_t i = 0; i < rows.size(); ++i) {
     EXPECT_EQ(rows[i].t, static_cast<SimTime>(i) * testing::seconds(10));
-    if (i > 0) EXPECT_LT(rows[i - 1].t, rows[i].t);
+    if (i > 0) {
+      EXPECT_LT(rows[i - 1].t, rows[i].t);
+    }
   }
   EXPECT_EQ(sampler.series().value(0, 0), 0.0);
   EXPECT_EQ(sampler.series().value(4, 0), 1.0);

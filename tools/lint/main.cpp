@@ -1,0 +1,94 @@
+// pahoehoe_lint CLI: run the determinism-contract rules over the tree.
+//
+// Usage:
+//   pahoehoe_lint --root=.            # lint src/ bench/ examples/ tests/ tools/
+//   pahoehoe_lint --list-rules        # rule ids, annotations, contracts
+//   pahoehoe_lint --selftest          # built-in fixture battery
+//
+// Exit status: 0 when the tree is clean (suppressed findings are counted in
+// the summary but do not fail), 1 on any active diagnostic, 2 on usage /
+// I/O errors. Mirrors the trendcheck CLI conventions (DESIGN.md §11):
+// value-bearing messages, --selftest proving the engine itself.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "lint.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// The analyzed surface: every C++ TU that can feed simulation results,
+// benches, or their tests. tools/ is included so the linter lints itself.
+constexpr const char* kScanDirs[] = {"src", "bench", "examples", "tests",
+                                     "tools"};
+
+bool has_cpp_extension(const fs::path& p) {
+  return p.extension() == ".cpp" || p.extension() == ".h";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pahoehoe::Flags flags(argc, argv);
+  const std::string root =
+      flags.get_string("root", ".", "repo root to scan (src/, bench/, ...)");
+  const bool list_rules =
+      flags.get_bool("list-rules", false, "print the rule table and exit");
+  const bool run_selftest =
+      flags.get_bool("selftest", false, "run the built-in fixture battery");
+  flags.finish();
+
+  if (list_rules) {
+    std::printf("%-18s %-14s %s\n", "rule", "annotation", "contract");
+    for (const pahoehoe::lint::RuleInfo& r : pahoehoe::lint::rules()) {
+      std::printf("%-18s %-14s %s\n", r.id,
+                  r.annotation[0] ? r.annotation : "-", r.summary);
+    }
+    return 0;
+  }
+  if (run_selftest) return pahoehoe::lint::selftest();
+
+  std::vector<pahoehoe::lint::SourceFile> files;
+  std::error_code ec;
+  for (const char* dir : kScanDirs) {
+    const fs::path base = fs::path(root) / dir;
+    if (!fs::is_directory(base, ec)) continue;
+    std::vector<fs::path> paths;
+    for (const fs::directory_entry& entry :
+         fs::recursive_directory_iterator(base, ec)) {
+      if (entry.is_regular_file() && has_cpp_extension(entry.path())) {
+        paths.push_back(entry.path());
+      }
+    }
+    std::sort(paths.begin(), paths.end());
+    for (const fs::path& p : paths) {
+      std::ifstream in(p, std::ios::binary);
+      if (!in) {
+        std::fprintf(stderr, "pahoehoe_lint: cannot read %s\n",
+                     p.string().c_str());
+        return 2;
+      }
+      std::ostringstream content;
+      content << in.rdbuf();
+      files.push_back({fs::relative(p, root, ec).generic_string(),
+                       content.str()});
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr,
+                 "pahoehoe_lint: no sources under --root=%s "
+                 "(expected src/, bench/, examples/, tests/)\n",
+                 root.c_str());
+    return 2;
+  }
+
+  const pahoehoe::lint::Report report = pahoehoe::lint::analyze(files);
+  std::fputs(report.to_text(files.size()).c_str(), stdout);
+  return report.active_count() == 0 ? 0 : 1;
+}
