@@ -100,6 +100,36 @@ bool selfcheck(const std::string& path, size_t min_variants) {
         return fail("path component share above 1");
       }
     }
+    // Tail attribution: cohorts partition the resolved versions, gap
+    // shares are proper fractions, and every retained exemplar's integer
+    // component micros telescope exactly to its reported latency.
+    const obs::JsonValue* attribution = variant.find("tail_attribution");
+    if (attribution == nullptr) return fail("missing tail_attribution");
+    const std::optional<obs::AttributionReport> report =
+        obs::attribution_from_json(*attribution);
+    if (!report.has_value()) return fail("tail_attribution fails to parse");
+    if (static_cast<double>(report->versions) !=
+        latency->find("count")->number) {
+      return fail("tail_attribution versions != time_to_amr count");
+    }
+    if (report->tail.versions + report->body.versions != report->versions) {
+      return fail("tail + body cohorts do not partition the versions");
+    }
+    if (report->ranked.size() != obs::kPathComponentCount) {
+      return fail("tail_attribution missing ranked components");
+    }
+    for (const obs::ComponentGap& gap : report->ranked) {
+      if (gap.gap_share < 0.0 || gap.gap_share > 1.0 + 1e-9) {
+        return fail("tail_attribution gap share outside [0, 1]");
+      }
+    }
+    for (const obs::Exemplar& exemplar : report->top) {
+      SimTime sum = 0;
+      for (SimTime micros : exemplar.components) sum += micros;
+      if (sum != exemplar.latency_micros) {
+        return fail("exemplar components do not telescope to its latency");
+      }
+    }
     const obs::JsonValue* timeline = variant.find("timeline");
     const obs::JsonValue* t = timeline->find("t_s");
     if (t == nullptr || !t->is_array() || t->array.empty()) {
@@ -150,9 +180,11 @@ int run(int argc, char** argv) {
   config.workload.value_size = static_cast<size_t>(object_kib) * 1024;
   config.telemetry.sample_interval =
       static_cast<SimTime>(sample_interval_s * kMicrosPerSecond);
-  // Span tracing feeds the per-variant critical-path decomposition; it is a
-  // pure observer, so the measured runs are unchanged.
+  // Span tracing feeds the per-variant critical-path decomposition, and
+  // exemplars+attribution are carved out of it; both are pure observers, so
+  // the measured runs are unchanged.
   config.telemetry.spans = true;
+  config.telemetry.exemplars = true;
   if (blackout_min > 0) {
     config.faults.push_back(core::FaultSpec::fs_blackout(
         0, 0, 0,
@@ -248,6 +280,8 @@ int run(int argc, char** argv) {
     }
     w.end_object();
     w.end_object();
+    w.key("tail_attribution");
+    obs::attribution_to_json(w, v.agg.attribution);
     w.key("timeline");
     w.begin_object();
     const obs::TimeSeries& series = v.agg.timeline;

@@ -43,6 +43,7 @@
 #include "bench_util.h"
 #include "common/flags.h"
 #include "erasure/gf256.h"
+#include "obs/attribution.h"
 #include "obs/json.h"
 
 namespace pahoehoe {
@@ -65,6 +66,10 @@ struct Outcome {
   int gates = 0;
   std::vector<std::string> failures;
   std::vector<std::string> notices;  ///< non-fatal coverage gaps
+  /// Diagnostic lines printed alongside REGRESSION output: the regressed
+  /// run's tail attribution (top exemplars, dominant component) and, when
+  /// the baseline carries the section too, a fresh-vs-baseline diff.
+  std::vector<std::string> context;
 };
 
 void gate(Outcome& out, const std::string& name, double fresh,
@@ -233,6 +238,56 @@ const obs::JsonValue* find_variant(const obs::JsonValue& variants,
   return nullptr;
 }
 
+/// On a quantile-band failure for `name`, pull the variant's
+/// tail_attribution section so the REGRESSION line arrives with the
+/// versions and component that produced it. Older documents without the
+/// section degrade to a notice instead of a hard error.
+void attach_attribution_context(Outcome& out, const std::string& name,
+                                const obs::JsonValue& fv,
+                                const obs::JsonValue& bv) {
+  const obs::JsonValue* fa = fv.find("tail_attribution");
+  if (fa == nullptr) {
+    out.notices.push_back("variant " + name +
+                          " regressed but the fresh document has no "
+                          "tail_attribution section (older bench build?)");
+    return;
+  }
+  const std::optional<obs::AttributionReport> fresh_report =
+      obs::attribution_from_json(*fa);
+  if (!fresh_report.has_value()) {
+    out.notices.push_back("variant " + name +
+                          ": tail_attribution section is malformed");
+    return;
+  }
+  if (!fresh_report->ranked.empty()) {
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "%s: %.1f%% of the tail-vs-body gap is %s", name.c_str(),
+                  fresh_report->ranked.front().gap_share * 100.0,
+                  obs::to_string(fresh_report->ranked.front().component));
+    out.context.push_back(line);
+  }
+  size_t shown = 0;
+  for (const obs::Exemplar& e : fresh_report->top) {
+    if (shown++ >= 3) break;
+    out.context.push_back(name + " top exemplar " + obs::exemplar_to_text(e));
+  }
+  const obs::JsonValue* ba = bv.find("tail_attribution");
+  if (ba == nullptr) {
+    out.notices.push_back("variant " + name +
+                          ": baseline predates tail_attribution; "
+                          "differential skipped (refresh with "
+                          "--write-baseline)");
+    return;
+  }
+  const std::optional<obs::AttributionReport> base_report =
+      obs::attribution_from_json(*ba);
+  if (base_report.has_value()) {
+    out.context.push_back(
+        obs::attribution_diff_text(*fresh_report, *base_report));
+  }
+}
+
 Outcome compare_telemetry(const obs::JsonValue& fresh,
                           const obs::JsonValue& baseline) {
   Outcome out;
@@ -274,11 +329,15 @@ Outcome compare_telemetry(const obs::JsonValue& fresh,
     // interpolation is the one legitimate source of tiny movement).
     gate(out, name + " acked_total", num_or(fv.find("acked_total"), -1),
          num_or(bv->find("acked_total"), -1), 0.0, Dir::kBand);
+    const size_t failures_before = out.failures.size();
     for (const char* q : {"p50", "p95"}) {
       const double f = num_or(fv.find("time_to_amr_s")->find(q), -1);
       const double b = num_or(bv->find("time_to_amr_s")->find(q), -1);
       gate(out, name + " time_to_amr_s." + q, f, b, kTolTelemetry,
            Dir::kBand);
+    }
+    if (out.failures.size() > failures_before) {
+      attach_attribution_context(out, name, fv, *bv);
     }
   }
   return out;
@@ -362,6 +421,31 @@ std::string synth_erasure_text() {
   return w.str();
 }
 
+/// A real attribution report over synthetic critical paths: 8 versions,
+/// one of which spends 600 s in recovery_backoff — so the ranked list
+/// names recovery_backoff and the worst-K leads with obj-7.
+obs::AttributionReport synth_attribution() {
+  obs::ExemplarStore store(/*worst_k=*/4, /*reservoir=*/16);
+  std::vector<obs::VersionCriticalPath> paths;
+  for (int i = 0; i < 8; ++i) {
+    obs::VersionCriticalPath path;
+    path.ov = ObjectVersionId{Key{"obj-" + std::to_string(i)},
+                              Timestamp{i * kMicrosPerSecond, 101}};
+    path.components[static_cast<size_t>(obs::PathComponent::kNetworkWait)] =
+        kMicrosPerSecond / 2;
+    path.components[static_cast<size_t>(
+        obs::PathComponent::kRecoveryBackoff)] =
+        (i == 7 ? 600 : 1) * kMicrosPerSecond;
+    path.confirm_time = path.ack_time + path.total();
+    store.add(obs::Exemplar{path.ov, /*seed=*/5000, path.total(),
+                            path.components});
+    paths.push_back(path);
+  }
+  obs::AttributionBuilder builder(store);
+  for (const obs::VersionCriticalPath& path : paths) builder.add(path);
+  return builder.finish();
+}
+
 std::string synth_telemetry_text() {
   obs::JsonWriter w;
   w.begin_object();
@@ -382,6 +466,8 @@ std::string synth_telemetry_text() {
       .kv("max", 240.0)
       .end_object();
   w.kv("acked_total", 12);
+  w.key("tail_attribution");
+  obs::attribution_to_json(w, synth_attribution());
   w.end_object();
   w.end_array();
   w.end_object();
@@ -393,11 +479,16 @@ int selftest_fail(const char* what) {
   return 1;
 }
 
-bool any_failure_mentions(const Outcome& out, const std::string& needle) {
-  for (const std::string& f : out.failures) {
-    if (f.find(needle) != std::string::npos) return true;
+bool any_mentions(const std::vector<std::string>& lines,
+                  const std::string& needle) {
+  for (const std::string& line : lines) {
+    if (line.find(needle) != std::string::npos) return true;
   }
   return false;
+}
+
+bool any_failure_mentions(const Outcome& out, const std::string& needle) {
+  return any_mentions(out.failures, needle);
 }
 
 /// Prove the gate engine: identical documents pass; an injected 20%
@@ -446,6 +537,28 @@ int run_selftest() {
       !any_failure_mentions(tregressed, "time_to_amr_s.p50")) {
     return selftest_fail("injected 25% p50 drift must trip the band gate");
   }
+  // The REGRESSION must arrive with attribution context: the dominant
+  // component, the top exemplars, and (both documents carry the section) a
+  // fresh-vs-baseline differential.
+  if (!any_mentions(tregressed.context, "recovery_backoff") ||
+      !any_mentions(tregressed.context, "top exemplar key=obj-7") ||
+      !any_mentions(tregressed.context, "attribution diff")) {
+    return selftest_fail(
+        "regressed telemetry must attach tail attribution context");
+  }
+  // A baseline that predates the section degrades to a notice, never an
+  // error — the exemplar printing itself must survive.
+  obs::JsonValue old_base = tbase;
+  old_base.object["variants"].array[0].object.erase("tail_attribution");
+  Outcome tolder = compare_telemetry(tfresh, old_base);
+  if (tolder.failures.empty() ||
+      !any_mentions(tolder.notices, "predates tail_attribution") ||
+      !any_mentions(tolder.context, "top exemplar key=obj-7") ||
+      any_mentions(tolder.context, "attribution diff")) {
+    return selftest_fail(
+        "baseline without tail_attribution must skip the diff with a "
+        "notice but keep the exemplar context");
+  }
   // And a flag mismatch must skip, not silently compare.
   tfresh.object["seeds"].number = 30;
   if (compare_telemetry(tfresh, tbase).comparable) {
@@ -493,6 +606,9 @@ int gate_pair(const char* what, const std::string& fresh_path,
   }
   for (const std::string& failure : out.failures) {
     std::fprintf(stderr, "trendcheck: %s: %s\n", what, failure.c_str());
+  }
+  for (const std::string& line : out.context) {
+    std::fprintf(stderr, "trendcheck: %s: %s\n", what, line.c_str());
   }
   std::printf("trendcheck: %s: %d gates vs %s (baseline build %s): %s\n",
               what, out.gates, baseline_path.c_str(),

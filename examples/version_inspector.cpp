@@ -52,6 +52,10 @@ int main(int argc, char** argv) {
       "sibling, all"));
   const int64_t object = flags.get_int(
       "object", 0, "workload object index to inspect (-1 = every version)");
+  const int64_t worst = flags.get_int(
+      "worst", 0,
+      "instead of --object, inspect the N worst put-ack → AMR latency "
+      "exemplars: prints the tail attribution report, then their span trees");
   const int64_t blackout_s = flags.get_int(
       "blackout-s", 0,
       "black out FS (0,0) for this many seconds from t=0 — the put still "
@@ -72,6 +76,7 @@ int main(int argc, char** argv) {
 
   obs::prof::set_enabled(profile);
   config.telemetry.spans = true;
+  config.telemetry.exemplars = true;
   if (blackout_s > 0) {
     config.faults.push_back(core::FaultSpec::fs_blackout(
         0, 0, 0, blackout_s * kMicrosPerSecond));
@@ -82,18 +87,40 @@ int main(int argc, char** argv) {
 
   core::RunResult result = core::run_experiment(config);
 
-  // The workload names objects deterministically, so the inspector can
-  // select by index without replaying the driver.
-  const Key want{config.workload.key_prefix + std::to_string(object)};
   std::vector<ObjectVersionId> selected;
-  for (const ObjectVersionId& ov : result.spans.versions()) {
-    if (object < 0 || ov.key == want) selected.push_back(ov);
-  }
-  if (selected.empty()) {
-    std::fprintf(stderr, "no traced versions for object %lld (%d traced)\n",
-                 static_cast<long long>(object),
-                 static_cast<int>(result.spans.versions().size()));
-    return 1;
+  if (worst > 0) {
+    // Exemplar-driven selection: the report's worst-K already names the
+    // versions; jump straight to their span trees.
+    const std::vector<obs::Exemplar>& top = result.amr_exemplars.worst();
+    if (top.empty()) {
+      std::fprintf(stderr,
+                   "flag error: --worst=%lld but the run retained no "
+                   "exemplars (0 resolved versions out of %d puts)\n",
+                   static_cast<long long>(worst), result.puts_attempted);
+      return 2;
+    }
+    for (const obs::Exemplar& e : top) {
+      if (selected.size() >= static_cast<size_t>(worst)) break;
+      selected.push_back(e.ov);
+    }
+  } else {
+    // The workload names objects deterministically, so the inspector can
+    // select by index without replaying the driver.
+    const Key want{config.workload.key_prefix + std::to_string(object)};
+    for (const ObjectVersionId& ov : result.spans.versions()) {
+      if (object < 0 || ov.key == want) selected.push_back(ov);
+    }
+    if (selected.empty()) {
+      std::fprintf(stderr,
+                   "flag error: --object=%lld selected none of the %zu "
+                   "traced versions (valid object indexes are 0..%d, -1 for "
+                   "every version, or use --worst=N for the exemplar-ranked "
+                   "tail)\n",
+                   static_cast<long long>(object),
+                   result.spans.versions().size(),
+                   config.workload.num_puts - 1);
+      return 2;
+    }
   }
 
   std::printf("seed %llu: %d puts attempted, %d acked, %d versions AMR; "
@@ -101,6 +128,9 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(config.seed),
               result.puts_attempted, result.puts_acked, result.amr,
               result.audit.passed() ? "passed" : "FAILED");
+  if (worst > 0) {
+    std::printf("%s\n", result.attribution.to_text().c_str());
+  }
   for (const ObjectVersionId& ov : selected) {
     std::fputs(result.spans.render_tree(ov).c_str(), stdout);
     std::fputs("\n", stdout);

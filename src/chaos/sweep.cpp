@@ -38,6 +38,12 @@ std::string build_forensics(const core::RunResult& run,
     out += "span tree of first violating version:\n";
     out += run.span_forensics;
   }
+  if (!run.attribution.empty()) {
+    // Names the component that inflated the tail of this failing run
+    // ("83% of the gap is recovery_backoff") with concrete exemplar
+    // versions to chase in version_inspector --worst.
+    out += run.attribution.to_text();
+  }
   return out;
 }
 
@@ -96,6 +102,9 @@ SweepResult run_sweep(core::RunConfig config, const SweepOptions& options) {
     seed_config.telemetry.trace_capacity = options.trace_capacity;
     seed_config.telemetry.trace_dump_lines = options.trace_dump_lines;
     seed_config.telemetry.spans = options.spans;
+    // Exemplars ride the spans knob: when forensics are wanted, a failing
+    // seed's outcome also attributes its tail to a critical-path component.
+    seed_config.telemetry.exemplars = options.spans;
     core::RunResult run = core::run_experiment(seed_config);
     int runs = 1;
     outcome.audit = run.audit;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include "common/check.h"
 
@@ -83,7 +84,17 @@ void QuantileSketch::add(double x) {
 }
 
 void QuantileSketch::merge(const QuantileSketch& other) {
-  PAHOEHOE_CHECK(alpha_ == other.alpha_);
+  // Buckets are only compatible when both sketches use the same bucket
+  // ratio; merging across relative_error values would silently misplace
+  // every count, so it is a hard, value-bearing error.
+  if (alpha_ != other.alpha_) {
+    char msg[128];
+    std::snprintf(msg, sizeof(msg),
+                  "QuantileSketch::merge relative_error mismatch: "
+                  "%.17g vs %.17g",
+                  alpha_, other.alpha_);
+    PAHOEHOE_CHECK_MSG(false, msg);
+  }
   if (other.count_ == 0) return;
   if (count_ == 0) {
     min_ = other.min_;

@@ -10,6 +10,7 @@
 
 #include "common/stats.h"
 #include "core/cluster.h"
+#include "obs/attribution.h"
 #include "core/config.h"
 #include "core/workload.h"
 #include "net/network.h"
@@ -98,6 +99,14 @@ struct TelemetryOptions {
   /// reconciliation so kTelemetryDrift fires as the run's only violation
   /// (locks down the sweep's non-zero exit code). Needs trace_capacity > 0.
   bool inject_trace_drift = false;
+  /// Tail-latency exemplars + cohort attribution (obs/exemplar.h,
+  /// obs/attribution.h). Implies span tracing (the exemplar source). Like
+  /// spans, a pure observer: the stores are built from already-recorded
+  /// telemetry after the run, so enabling this never perturbs a run
+  /// (exemplar_test digests runs with it on vs. off).
+  bool exemplars = false;
+  size_t exemplar_worst_k = obs::ExemplarStore::kDefaultWorstK;
+  size_t exemplar_reservoir = obs::ExemplarStore::kDefaultReservoir;
 };
 
 struct RunConfig {
@@ -206,6 +215,15 @@ struct RunResult {
   /// Forensics: span tree of the first audit violation that names a traced
   /// version (empty when the audit passed or spans were off).
   std::string span_forensics;
+  /// Tail-latency exemplars (empty unless telemetry.exemplars): put-ack →
+  /// AMR latency witnesses with exact critical-path components, plus
+  /// client-visible per-op put/get witnesses (all-zero components).
+  obs::ExemplarStore amr_exemplars;
+  obs::ExemplarStore put_op_exemplars;
+  obs::ExemplarStore get_op_exemplars;
+  /// Tail (≥p95) vs. body cohort attribution over this run's critical
+  /// paths (empty unless telemetry.exemplars).
+  obs::AttributionReport attribution;
   /// Host wall-clock phase breakdown of this run (empty unless
   /// obs::prof profiling is enabled). Pure side channel — excluded from
   /// every determinism digest (DESIGN.md §11).
@@ -251,6 +269,14 @@ struct AggregateResult {
   /// Per-component critical-path aggregate merged in seed order —
   /// byte-identical to_text() for every jobs value.
   obs::CriticalPathAggregate critical_path;
+  /// Exemplar stores merged in seed order (retention is additionally
+  /// insertion-order independent, DESIGN.md §13) and the pooled tail
+  /// attribution built from the merged sketch's p95 over every seed's
+  /// critical paths. Empty unless telemetry.exemplars.
+  obs::ExemplarStore amr_exemplars;
+  obs::ExemplarStore put_op_exemplars;
+  obs::ExemplarStore get_op_exemplars;
+  obs::AttributionReport attribution;
   /// Per-seed wall-clock profiles merged in seed order (empty unless
   /// profiling was enabled). Side channel only — never digested.
   obs::ProfReport profile;

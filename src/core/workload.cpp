@@ -122,9 +122,11 @@ void WorkloadDriver::finish_put(int object_index, bool acked) {
   // Latency runs from the object's first-attempt arrival, not the last
   // retry's issue time: with retry_failed set, the client-visible latency
   // of a put is everything since its original arrival.
+  // finish_put runs synchronously inside resolve(), right after the final
+  // attempt's PutRecord was pushed, so records_.back() is that attempt.
   put_latencies_.push_back(OpLatency{
       object_index, acked, arrivals_[static_cast<size_t>(object_index)],
-      sim_.now()});
+      sim_.now(), records_.back().ov});
 }
 
 void WorkloadDriver::maybe_get(int object_index) {
@@ -143,9 +145,9 @@ void WorkloadDriver::maybe_get(int object_index) {
                    record.ts = result.ts;
                  }
                  get_records_.push_back(record);
-                 get_latencies_.push_back(OpLatency{object_index,
-                                                    result.success, issued,
-                                                    sim_.now()});
+                 get_latencies_.push_back(OpLatency{
+                     object_index, result.success, issued, sim_.now(),
+                     ObjectVersionId{key_for(object_index), record.ts}});
                });
   });
 }

@@ -82,6 +82,11 @@ struct OpLatency {
   bool ok = false;  ///< put: finally acked; get: completed with a value
   SimTime start = 0;
   SimTime end = 0;
+  /// Version the op resolved to (put: the final attempt's version; get: the
+  /// version returned). Invalid timestamp when no version was assigned
+  /// (client timeout, failed get) — exemplar retention skips those anyway
+  /// because only ok ops are sampled.
+  ObjectVersionId ov;
 
   double seconds() const {
     return static_cast<double>(end - start) /

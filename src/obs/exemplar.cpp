@@ -1,0 +1,171 @@
+#include "obs/exemplar.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace pahoehoe::obs {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+uint64_t fnv1a_bytes(uint64_t h, const void* data, size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+uint64_t fnv1a_u64(uint64_t h, uint64_t v) {
+  return fnv1a_bytes(h, &v, sizeof(v));
+}
+
+/// Reservoir retention order: priority asc, identity tie-break so equal
+/// priorities (astronomically unlikely but possible) stay deterministic.
+bool reservoir_before(const Exemplar& a, const Exemplar& b) {
+  const uint64_t pa = exemplar_priority(a);
+  const uint64_t pb = exemplar_priority(b);
+  if (pa != pb) return pa < pb;
+  if (a.ov != b.ov) return a.ov < b.ov;
+  return a.seed < b.seed;
+}
+
+}  // namespace
+
+std::string exemplar_to_text(const Exemplar& e) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "key=%s ts=%lld/%u seed=%llu latency_us=%lld"
+                " nw=%lld rs=%lld rb=%lld sp=%lld",
+                e.ov.key.value.c_str(),
+                static_cast<long long>(e.ov.ts.wall_micros), e.ov.ts.proxy,
+                static_cast<unsigned long long>(e.seed),
+                static_cast<long long>(e.latency_micros),
+                static_cast<long long>(e.components[0]),
+                static_cast<long long>(e.components[1]),
+                static_cast<long long>(e.components[2]),
+                static_cast<long long>(e.components[3]));
+  return buf;
+}
+
+bool worse_than(const Exemplar& a, const Exemplar& b) {
+  if (a.latency_micros != b.latency_micros) {
+    return a.latency_micros > b.latency_micros;
+  }
+  if (a.ov != b.ov) return a.ov < b.ov;
+  return a.seed < b.seed;
+}
+
+uint64_t exemplar_priority(const Exemplar& e) {
+  uint64_t h = kFnvOffset;
+  h = fnv1a_bytes(h, e.ov.key.value.data(), e.ov.key.value.size());
+  h = fnv1a_u64(h, static_cast<uint64_t>(e.ov.ts.wall_micros));
+  h = fnv1a_u64(h, e.ov.ts.proxy);
+  h = fnv1a_u64(h, e.seed);
+  return h;
+}
+
+ExemplarStore::ExemplarStore(size_t worst_k, size_t reservoir,
+                             double relative_error)
+    : worst_cap_(worst_k),
+      reservoir_cap_(reservoir),
+      latency_s_(relative_error) {}
+
+void ExemplarStore::add(const Exemplar& e) {
+  latency_s_.add(e.seconds());
+  if (worst_cap_ > 0) {
+    auto it = std::lower_bound(worst_.begin(), worst_.end(), e, worse_than);
+    if (it != worst_.end() || worst_.size() < worst_cap_) {
+      worst_.insert(it, e);
+      if (worst_.size() > worst_cap_) worst_.pop_back();
+    }
+  }
+  if (reservoir_cap_ > 0) {
+    auto it = std::lower_bound(reservoir_.begin(), reservoir_.end(), e,
+                               reservoir_before);
+    if (it != reservoir_.end() || reservoir_.size() < reservoir_cap_) {
+      reservoir_.insert(it, e);
+      if (reservoir_.size() > reservoir_cap_) reservoir_.pop_back();
+    }
+  }
+}
+
+void ExemplarStore::merge(const ExemplarStore& other) {
+  if (worst_cap_ != other.worst_cap_ ||
+      reservoir_cap_ != other.reservoir_cap_) {
+    char msg[160];
+    std::snprintf(msg, sizeof(msg),
+                  "ExemplarStore::merge cap mismatch: worst_k %zu vs %zu, "
+                  "reservoir %zu vs %zu",
+                  worst_cap_, other.worst_cap_, reservoir_cap_,
+                  other.reservoir_cap_);
+    PAHOEHOE_CHECK_MSG(false, msg);
+  }
+  latency_s_.merge(other.latency_s_);
+  if (!other.worst_.empty()) {
+    std::vector<Exemplar> merged;
+    merged.reserve(worst_.size() + other.worst_.size());
+    std::merge(worst_.begin(), worst_.end(), other.worst_.begin(),
+               other.worst_.end(), std::back_inserter(merged), worse_than);
+    if (merged.size() > worst_cap_) merged.resize(worst_cap_);
+    worst_ = std::move(merged);
+  }
+  if (!other.reservoir_.empty()) {
+    std::vector<Exemplar> merged;
+    merged.reserve(reservoir_.size() + other.reservoir_.size());
+    std::merge(reservoir_.begin(), reservoir_.end(), other.reservoir_.begin(),
+               other.reservoir_.end(), std::back_inserter(merged),
+               reservoir_before);
+    if (merged.size() > reservoir_cap_) merged.resize(reservoir_cap_);
+    reservoir_ = std::move(merged);
+  }
+}
+
+std::vector<std::vector<Exemplar>> ExemplarStore::stratified(
+    size_t per_decile) const {
+  std::vector<std::vector<Exemplar>> strata(10);
+  if (reservoir_.empty() || per_decile == 0) return strata;
+  // Decile upper bounds from this store's own sketch; the last stratum is
+  // unbounded above so quantile clamping can't drop the max.
+  std::array<double, 9> bound;
+  for (size_t d = 0; d < 9; ++d) {
+    bound[d] = latency_s_.quantile(static_cast<double>(d + 1) / 10.0);
+  }
+  for (const Exemplar& e : reservoir_) {
+    const double s = e.seconds();
+    size_t d = 0;
+    while (d < 9 && s >= bound[d]) ++d;
+    strata[d].push_back(e);
+  }
+  for (auto& stratum : strata) {
+    std::sort(stratum.begin(), stratum.end(), worse_than);
+    if (stratum.size() > per_decile) stratum.resize(per_decile);
+  }
+  return strata;
+}
+
+std::string ExemplarStore::to_text() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "exemplars count %llu worst_k %zu reservoir %zu\n"
+                "latency_s p50 %.10g p95 %.10g p99 %.10g max %.10g\n",
+                static_cast<unsigned long long>(latency_s_.count()),
+                worst_cap_, reservoir_cap_, latency_s_.quantile(0.5),
+                latency_s_.quantile(0.95), latency_s_.quantile(0.99),
+                latency_s_.max());
+  std::string out = buf;
+  for (const Exemplar& e : worst_) {
+    out += "worst " + exemplar_to_text(e) + "\n";
+  }
+  for (const Exemplar& e : reservoir_) {
+    out += "reservoir " + exemplar_to_text(e) + "\n";
+  }
+  return out;
+}
+
+}  // namespace pahoehoe::obs

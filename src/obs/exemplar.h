@@ -1,0 +1,113 @@
+// Tail-latency exemplars: concrete {version, latency, critical-path
+// components, seed} witnesses attached to a QuantileSketch, so an aggregate
+// percentile ("p99 is high") can always be traced back to the specific
+// object versions that produced it (Dapper-style histogram exemplars).
+//
+// An ExemplarStore wraps the latency sketch with two bounded, deterministic
+// retention sets:
+//   * worst-K — the K largest-latency exemplars, totally ordered by
+//     (latency desc, version id asc, seed asc). The tie-break makes the set
+//     independent of insertion order, so a parallel sweep folded in seed
+//     order retains byte-identical exemplars for any --jobs (DESIGN.md §13).
+//   * a stratified reservoir — a bottom-R sample by a fixed FNV-1a priority
+//     hash of (version id, seed) (a KMV sketch: merge = union, trim to R).
+//     Because the priority is a pure function of the exemplar's identity,
+//     the retained set is also insertion-order independent. At report time
+//     the reservoir is bucketed into deciles of the store's own latency
+//     sketch, giving body-cohort witnesses across the whole distribution,
+//     not just the tail.
+//
+// Pure observer: stores are fed from already-recorded telemetry
+// (VersionCriticalPath records, per-op latencies) after the simulation has
+// quiesced, so enabling exemplars never perturbs a run.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "obs/critical_path.h"
+
+namespace pahoehoe::obs {
+
+/// One retained witness. For put-ack → AMR exemplars the components
+/// telescope exactly: sum(components) == latency_micros (the same integer
+/// identity VersionCriticalPath guarantees). Per-op (put/get) exemplars
+/// carry all-zero components — client-visible op latency has no
+/// critical-path decomposition.
+struct Exemplar {
+  ObjectVersionId ov;
+  uint64_t seed = 0;
+  SimTime latency_micros = 0;
+  std::array<SimTime, kPathComponentCount> components{};
+
+  double seconds() const {
+    return static_cast<double>(latency_micros) /
+           static_cast<double>(kMicrosPerSecond);
+  }
+
+  friend bool operator==(const Exemplar&, const Exemplar&) = default;
+};
+
+/// Worst-first total order: latency desc, then version id asc, then seed
+/// asc — the "value-then-version-id" tie-break that keeps worst-K stable
+/// when latencies collide.
+bool worse_than(const Exemplar& a, const Exemplar& b);
+
+/// Deterministic reservoir priority: FNV-1a over the exemplar's identity
+/// (key bytes, timestamp, seed). Smaller priority = retained first.
+uint64_t exemplar_priority(const Exemplar& e);
+
+/// One-line render, no trailing newline:
+///   key=obj-3 ts=1234/7 seed=5007 latency_us=610200000 nw=.. rs=.. rb=.. sp=..
+std::string exemplar_to_text(const Exemplar& e);
+
+class ExemplarStore {
+ public:
+  static constexpr size_t kDefaultWorstK = 8;
+  static constexpr size_t kDefaultReservoir = 64;
+
+  explicit ExemplarStore(size_t worst_k = kDefaultWorstK,
+                         size_t reservoir = kDefaultReservoir,
+                         double relative_error = 0.01);
+
+  void add(const Exemplar& e);
+  /// Union of retention sets + bucket-wise sketch merge. Both stores must
+  /// use identical caps and relative_error (value-bearing CHECK otherwise).
+  /// Retention is insertion-order independent, so any merge order yields
+  /// the same store; the harness still folds in seed order by convention.
+  void merge(const ExemplarStore& other);
+
+  uint64_t count() const { return latency_s_.count(); }
+  const QuantileSketch& latency_s() const { return latency_s_; }
+
+  /// Retained worst-K, worst first (latency desc, version id asc, seed asc).
+  const std::vector<Exemplar>& worst() const { return worst_; }
+  /// KMV reservoir in (priority, version id, seed) order.
+  const std::vector<Exemplar>& reservoir() const { return reservoir_; }
+
+  size_t worst_cap() const { return worst_cap_; }
+  size_t reservoir_cap() const { return reservoir_cap_; }
+
+  /// Reservoir bucketed by decile of this store's latency sketch: slot d
+  /// holds exemplars with latency in [quantile(d/10), quantile((d+1)/10)),
+  /// worst first, at most `per_decile` each. Body-cohort witnesses for the
+  /// attribution report.
+  std::vector<std::vector<Exemplar>> stratified(size_t per_decile) const;
+
+  /// Stable multi-line render; byte equality of to_text() across --jobs
+  /// values is the determinism contract the exemplar tests digest.
+  std::string to_text() const;
+
+ private:
+  size_t worst_cap_;
+  size_t reservoir_cap_;
+  QuantileSketch latency_s_;
+  std::vector<Exemplar> worst_;      // sorted worst-first, <= worst_cap_
+  std::vector<Exemplar> reservoir_;  // sorted by priority, <= reservoir_cap_
+};
+
+}  // namespace pahoehoe::obs

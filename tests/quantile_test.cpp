@@ -134,6 +134,41 @@ TEST(QuantileSketch, MergeIsAssociativeExactly) {
   }
 }
 
+TEST(QuantileSketch, QuantileIsMonotoneInQ) {
+  // Property: for q1 < q2, quantile(q1) <= quantile(q2). Holds by
+  // construction (rank walk over ordered buckets, clamped to [min, max]),
+  // over several distributions including heavy zero mass and a point mass.
+  std::mt19937_64 gen(4242);
+  std::lognormal_distribution<double> lognormal(0.0, 2.0);
+  std::exponential_distribution<double> exponential(0.5);
+
+  QuantileSketch sketches[3];
+  for (int i = 0; i < 20'000; ++i) {
+    sketches[0].add(lognormal(gen));
+    // Half zeros: exercises the zero-bucket / first-bucket boundary.
+    sketches[1].add(i % 2 == 0 ? 0.0 : exponential(gen));
+    sketches[2].add(1.0);  // point mass: every quantile equals 1.0
+  }
+  for (const QuantileSketch& sketch : sketches) {
+    double prev = sketch.quantile(0.0);
+    for (int step = 1; step <= 1000; ++step) {
+      const double q = static_cast<double>(step) / 1000.0;
+      const double cur = sketch.quantile(q);
+      ASSERT_LE(prev, cur) << "quantile not monotone at q=" << q;
+      prev = cur;
+    }
+  }
+}
+
+TEST(QuantileSketchDeathTest, MergeRejectsMismatchedRelativeError) {
+  QuantileSketch fine(0.01);
+  QuantileSketch coarse(0.05);
+  fine.add(1.0);
+  coarse.add(2.0);
+  // The message must carry both values so the culprit sketch is obvious.
+  EXPECT_DEATH(fine.merge(coarse), "relative_error mismatch.*0\\.01.*0\\.05");
+}
+
 TEST(QuantileSketch, MergeWithEmptyIsIdentity) {
   QuantileSketch a;
   for (double v : {0.5, 1.0, 2.0}) a.add(v);

@@ -252,5 +252,43 @@ TEST(ChaosSpanTest, FailingSeedForensicsIncludeTheSpanTree) {
   EXPECT_EQ(plain.outcomes[0].forensics.find("span tree"), std::string::npos);
 }
 
+TEST(ChaosSpanTest, FailingSeedForensicsIncludeTailAttribution) {
+  // A blackout long enough to put recovery_backoff on the critical path,
+  // with the audit failure coming from the drift injection rather than
+  // give-up — versions still resolve, so the violating seed's forensics
+  // must carry the cohort attribution naming which component carries the
+  // tail, and the exemplar lines pointing at concrete versions.
+  core::RunConfig config = traced_config(3);
+  config.faults.push_back(
+      core::FaultSpec::fs_blackout(0, 0, 0, testing::minutes(10)));
+  config.telemetry.inject_trace_drift = true;
+
+  chaos::SweepOptions options;
+  options.seeds = 1;
+  options.shrink_failures = false;
+  options.schedule.corruption = false;
+  options.schedule.crashes = false;
+  options.schedule.proxy_crashes = false;
+  options.schedule.partitions = false;
+  options.schedule.loss = false;
+  options.schedule.blackouts = false;
+  options.schedule.duplication = false;
+  options.schedule.disk_destroys = false;
+
+  const chaos::SweepResult result = chaos::run_sweep(config, options);
+  ASSERT_EQ(result.failures, 1);
+  const std::string& forensics = result.outcomes[0].forensics;
+  EXPECT_NE(forensics.find("tail attribution:"), std::string::npos);
+  EXPECT_NE(forensics.find("of gap"), std::string::npos);
+  EXPECT_NE(forensics.find("top exemplar key="), std::string::npos);
+  // Exemplars ride the spans knob: off means no attribution forensics,
+  // same verdict.
+  options.spans = false;
+  const chaos::SweepResult plain = chaos::run_sweep(config, options);
+  ASSERT_EQ(plain.failures, 1);
+  EXPECT_EQ(plain.outcomes[0].forensics.find("tail attribution"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace pahoehoe
